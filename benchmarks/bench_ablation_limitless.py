@@ -1,0 +1,58 @@
+"""Ablation: LimitLESS hardware-pointer count.
+
+Sweeps the number of hardware directory pointers and measures a
+widely-shared-line invalidation (the case that triggers the software
+extension trap). More hardware pointers -> fewer traps -> cheaper
+write to a widely-read line.
+"""
+
+from repro.analysis.tables import ExperimentResult
+from repro.machine import Machine, MachineConfig
+from repro.memory import AccessKind, make_addr
+from repro.memory.coherence import CoherenceParams
+
+
+def _invalidation_cost(hw_pointers: int, n_sharers: int = 16) -> tuple[int, int]:
+    m = Machine(
+        MachineConfig(
+            n_nodes=32,
+            dir_hw_pointers=hw_pointers,
+            coherence=CoherenceParams(trap_cycles=40),
+        )
+    )
+    addr = make_addr(0, 0x100)
+    eng = m.coherence
+    done = []
+    # populate sharers
+    for reader in range(1, n_sharers + 1):
+        eng.access(reader, addr, AccessKind.READ, lambda: None)
+        m.run()
+    traps_before = m.nodes[0].directory.stats.software_traps
+    t0 = m.sim.now
+    eng.access(20, addr, AccessKind.WRITE, lambda: done.append(m.sim.now))
+    m.run()
+    return done[0] - t0, m.nodes[0].directory.stats.software_traps - traps_before
+
+
+def run_ablation(pointer_counts=(1, 2, 5, 8, 16)) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="ablation-limitless",
+        title="Ablation: LimitLESS hardware pointer count (16 sharers)",
+        columns=["hw_pointers", "write_inv_cycles", "software_traps"],
+        notes="write to a line shared by 16 readers; traps when sharers exceed pointers",
+    )
+    for hw in pointer_counts:
+        cycles, traps = _invalidation_cost(hw)
+        res.add(hw_pointers=hw, write_inv_cycles=cycles, software_traps=traps)
+    return res
+
+
+def test_bench_limitless_pointers(once):
+    res = once(run_ablation)
+    rows = res.rows
+    # few pointers -> the 16-sharer line overflowed -> trap charged
+    assert rows[0]["software_traps"] >= 1
+    # enough pointers -> no trap
+    assert rows[-1]["software_traps"] == 0
+    # and the overflowing write is more expensive
+    assert rows[0]["write_inv_cycles"] > rows[-1]["write_inv_cycles"]

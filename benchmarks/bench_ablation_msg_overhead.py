@@ -1,0 +1,73 @@
+"""Ablation: per-message software overhead vs the SM/MP copy crossover.
+
+The block size at which message-passing overtakes the shared-memory
+copy loop (Fig. 7's crossover) is set by the fixed per-message
+software cost. Sweeping that cost moves the crossover — the paper's
+§6 conclusion that messaging wins only "when messages are large
+enough to amortize any fixed overhead", made quantitative.
+"""
+
+from repro.analysis.metrics import mbytes_per_sec
+from repro.analysis.tables import ExperimentResult
+from repro.experiments.common import make_machine, run_thread_timed
+from repro.experiments.fig7_memcpy import _measure_sm
+from repro.runtime.bulk import BulkTransfer, copy_no_prefetch
+
+SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _mp_cycles(nbytes: int, sw_cost: int) -> int:
+    m = make_machine(4)
+    bulk = BulkTransfer(m, send_sw_cost=sw_cost, recv_sw_cost=sw_cost)
+    src = m.alloc(0, nbytes)
+    dst = m.alloc(1, nbytes)
+    for i in range(nbytes // 8):
+        m.store.write(src + i * 8, i)
+
+    def bench():
+        t0 = m.sim.now
+        yield from bulk.send(1, src, dst, nbytes, wait_ack=True)
+        return m.sim.now - t0
+
+    cycles, _ = run_thread_timed(m, bench())
+    return cycles
+
+
+def crossover(sw_cost: int) -> int | None:
+    """Smallest block size at which MP beats the plain SM copy."""
+    for nbytes in SIZES:
+        sm = _measure_sm(copy_no_prefetch, nbytes)
+        mp = _mp_cycles(nbytes, sw_cost)
+        if mp < sm:
+            return nbytes
+    return None
+
+
+def run_ablation(costs=(0, 50, 100, 200, 400)) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="ablation-msg-overhead",
+        title="Ablation: per-message software cost vs SM/MP copy crossover",
+        columns=["sw_cost_cycles", "crossover_bytes", "mp_4k_MB_per_s"],
+        notes="crossover = smallest block where the single-message copy wins",
+    )
+    for cost in costs:
+        xo = crossover(cost)
+        mp4k = _mp_cycles(4096, cost)
+        res.add(
+            sw_cost_cycles=cost,
+            crossover_bytes=xo if xo is not None else ">4096",
+            mp_4k_MB_per_s=round(mbytes_per_sec(4096, mp4k), 1),
+        )
+    return res
+
+
+def test_bench_msg_overhead_moves_crossover(once):
+    res = once(run_ablation)
+    rows = res.rows
+    xo = [r["crossover_bytes"] for r in rows]
+    # with zero software overhead messages win even tiny copies
+    assert xo[0] == 64
+    # crossover moves to larger blocks as overhead grows
+    numeric = [v for v in xo if isinstance(v, int)]
+    assert numeric == sorted(numeric)
+    assert xo[-1] >= 512 or xo[-1] == ">4096"

@@ -1,0 +1,54 @@
+"""Ablation: steal backoff policy in the hybrid scheduler.
+
+Fine-grained `grain` (l=0) is where stealing policy matters most: an
+aggressive idle loop floods busy nodes with request interrupts, an
+over-patient one starves thieves. Sweeps the initial/backoff-cap
+pair.
+"""
+
+from repro.analysis.tables import ExperimentResult
+from repro.apps.grain import grain_parallel, sequential_cycles
+from repro.experiments.common import make_machine
+from repro.runtime.rt import Runtime, RuntimeParams
+
+POLICIES = (
+    ("aggressive (25/100)", 25, 100),
+    ("default (50/800)", 50, 800),
+    ("patient (200/3200)", 200, 3200),
+)
+
+
+def _speedup(initial: int, cap: int, delay: int = 0, depth: int = 11) -> float:
+    m = make_machine(64)
+    params = RuntimeParams(steal_backoff=initial, steal_backoff_max=cap)
+    rt = Runtime(m, scheduler="hybrid", params=params)
+    _res, cycles = rt.run_to_completion(
+        0, lambda rt, nd: grain_parallel(rt, nd, depth, delay)
+    )
+    return sequential_cycles(depth, delay) / cycles
+
+
+def run_ablation() -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="ablation-steal",
+        title="Ablation: hybrid steal backoff policy (grain, l=0, n=11)",
+        columns=["policy", "speedup"],
+        notes="fine-grained grain on 64 processors",
+    )
+    for name, initial, cap in POLICIES:
+        res.add(policy=name, speedup=round(_speedup(initial, cap), 1))
+    return res
+
+
+def test_bench_steal_policy(once):
+    res = once(run_ablation)
+    speedups = {r["policy"]: r["speedup"] for r in res.rows}
+    # all policies must still deliver real speedup
+    for name, s in speedups.items():
+        assert s > 3, f"{name} collapsed to {s}"
+    # eagerness pays at fine grain: each step toward patience loses
+    assert (
+        speedups["aggressive (25/100)"]
+        > speedups["default (50/800)"]
+        > speedups["patient (200/3200)"]
+    )

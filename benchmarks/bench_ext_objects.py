@@ -1,0 +1,77 @@
+"""Extension bench (paper §6 future work): shared-object access policy.
+
+Measures the move-the-data vs move-the-computation crossover as the
+write fraction of a 15-caller object workload varies. Read-only
+sharing favours coherent caching (seqlock reads are cache hits
+everywhere); any significant write rate favours shipping the method
+in a message (writes invalidate every reader and overflow the
+LimitLESS pointers).
+"""
+
+from repro.analysis.tables import ExperimentResult
+from repro.ext import ObjectSpace
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute
+
+N_NODES = 16
+CALLS = 6
+
+
+def _run(policy: str, write_pct: int) -> int:
+    m = Machine(MachineConfig(n_nodes=N_NODES))
+    space = ObjectSpace(m)
+    obj = space.create(
+        home=0,
+        fields={"count": 0, "sum": 0},
+        methods={
+            "add": lambda f, x: (None, {"count": f["count"] + 1, "sum": f["sum"] + x}),
+            "read": lambda f: (f["count"], {}),
+        },
+        read_only={"read"},
+    )
+
+    def caller(node):
+        for i in range(CALLS):
+            if (i * 997 + node) % 100 < write_pct:
+                yield from obj.invoke(node, "add", (1,), policy=policy)
+            else:
+                yield from obj.invoke(node, "read", policy=policy)
+            yield Compute(40)
+
+    for node in range(1, N_NODES):
+        m.processor(node).run_thread(caller(node))
+    m.run()
+    return m.sim.now
+
+
+def run_bench(write_pcts=(0, 20, 90)) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="ext-objects",
+        title="Extension: shared-object policy vs write fraction (15 callers)",
+        columns=["write_pct", "data_cycles", "compute_cycles", "winner"],
+        notes="'data' = coherent field access; 'compute' = one-message method ship",
+    )
+    for pct in write_pcts:
+        d = _run("data", pct)
+        c = _run("compute", pct)
+        res.add(
+            write_pct=pct,
+            data_cycles=d,
+            compute_cycles=c,
+            winner="data" if d < c else "compute",
+        )
+    return res
+
+
+def test_bench_object_policy_crossover(once):
+    res = once(run_bench)
+    rows = {r["write_pct"]: r for r in res.rows}
+    # read-only sharing: coherent caching wins clearly
+    assert rows[0]["winner"] == "data"
+    assert rows[0]["data_cycles"] * 2 < rows[0]["compute_cycles"]
+    # write-hot: method shipping wins clearly
+    assert rows[90]["winner"] == "compute"
+    assert rows[90]["compute_cycles"] * 2 < rows[90]["data_cycles"]
+    # the compute policy's cost is nearly write-fraction-insensitive
+    compute = [r["compute_cycles"] for r in res.rows]
+    assert max(compute) < 2 * min(compute)

@@ -1,0 +1,69 @@
+"""Extension bench: all-reduce (the §4.2 barrier with data attached).
+
+A global sum per "iteration" across 64 processors — the reduction at
+the heart of iterative solvers. Bundling each partial sum with its
+combining signal (one message per tree edge) extends the message
+barrier's advantage, because the SM version pays coherence traffic
+for the value words on top of the flag words.
+"""
+
+import operator
+
+from repro.analysis.tables import ExperimentResult
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute
+from repro.runtime.reduce import MPTreeReduce, SMTreeReduce
+
+
+def _measure(kind: str, n_nodes: int = 64, episodes: int = 4) -> int:
+    m = Machine(MachineConfig(n_nodes=n_nodes))
+    red = (
+        SMTreeReduce(m, arity=2)
+        if kind == "sm"
+        else MPTreeReduce(m, operator.add, fanout=8)
+    )
+    enters, leaves = {}, {}
+    totals = []
+
+    def participant(node):
+        for ep in range(episodes):
+            enters.setdefault(ep, []).append(m.sim.now)
+            total = yield from red.reduce(node, node + ep, operator.add)
+            leaves.setdefault(ep, []).append(m.sim.now)
+            totals.append((ep, total))
+            yield Compute(2)
+
+    for node in range(n_nodes):
+        m.processor(node).run_thread(participant(node))
+    m.run()
+    for ep, total in totals:
+        assert total == sum(range(n_nodes)) + n_nodes * ep, "wrong reduction"
+    last = episodes - 1
+    return max(leaves[last]) - max(enters[last])
+
+
+def run_bench(n_nodes: int = 64) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="ext-reduce",
+        title=f"Extension: all-reduce latency, {n_nodes} processors",
+        columns=["mechanism", "cycles"],
+        notes="steady-state episode, sum of one value per node",
+    )
+    res.add(mechanism="shared-memory (binary tree)", cycles=_measure("sm", n_nodes))
+    res.add(mechanism="message-passing (8-ary tree)", cycles=_measure("mp", n_nodes))
+    return res
+
+
+def test_bench_reduce(once):
+    res = once(run_bench)
+    cyc = dict(zip(res.column("mechanism"), res.column("cycles")))
+    sm = cyc["shared-memory (binary tree)"]
+    mp = cyc["message-passing (8-ary tree)"]
+    # messages keep a clear advantage when data rides the signals
+    assert mp < sm / 1.8
+    # and a reduction costs at least as much as the §4.2 barrier
+    from repro.experiments.barrier_exp import measure_barrier
+    from repro.runtime.barrier import MPTreeBarrier
+
+    bare = measure_barrier(lambda m: MPTreeBarrier(m, fanout=8), n_nodes=64)
+    assert mp >= bare * 0.9

@@ -1,0 +1,23 @@
+"""Fig. 10: adaptive-quadrature speedup vs problem size, 64 processors.
+
+Paper shape: hybrid ~2x faster at small problem sizes; advantage
+shrinks with problem size but stays >20% at the largest size shown.
+"""
+
+from repro.experiments import fig10_aq
+
+#: trimmed tolerance sweep for the harness (smallest -> ~175 ms seq)
+BENCH_TOLS = (3e-3, 3e-4, 1e-4)
+
+
+def test_bench_fig10_speedups(once):
+    res = once(lambda: fig10_aq.run(tols=BENCH_TOLS))
+    rows = res.rows
+    # hybrid wins at every problem size
+    for r in rows:
+        assert r["hybrid_over_sm"] > 1.0, r
+    # the advantage at the smallest problem is the largest
+    assert rows[0]["hybrid_over_sm"] >= rows[-1]["hybrid_over_sm"]
+    assert rows[0]["hybrid_over_sm"] > 1.3
+    # problem size axis actually spans more than an order of magnitude
+    assert rows[-1]["seq_msec"] > 10 * rows[0]["seq_msec"]

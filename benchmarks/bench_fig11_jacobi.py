@@ -1,0 +1,24 @@
+"""Fig. 11: Jacobi SOR cycles/iteration on 64 processors, SM vs MP.
+
+Paper shape: SM slightly faster at 32x32, MP slightly faster at
+128x128, both by small margins (the crossover follows Fig. 7's copy
+crossover damped by the computation-to-communication ratio).
+"""
+
+from repro.experiments import fig11_jacobi
+
+
+def test_bench_fig11_crossover(once):
+    res = once(lambda: fig11_jacobi.run())
+    by_grid = {r["grid"]: r for r in res.rows}
+    small = by_grid["32x32"]
+    large = by_grid["128x128"]
+    # SM wins at small grids, MP at large
+    assert small["mp_over_sm"] > 1.0, small
+    assert large["mp_over_sm"] < 1.0, large
+    # "by a small amount" — neither side wins by more than ~2x
+    assert 0.5 < small["mp_over_sm"] < 2.0
+    assert 0.5 < large["mp_over_sm"] < 2.0
+    # cost per iteration grows with the grid in both modes
+    assert large["cycles_per_iter_sm"] > small["cycles_per_iter_sm"]
+    assert large["cycles_per_iter_mp"] > small["cycles_per_iter_mp"]

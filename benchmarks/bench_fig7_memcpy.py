@@ -1,0 +1,30 @@
+"""Fig. 7: memory-to-memory copy vs block size, three implementations.
+
+Paper anchors (MB/s): 256 B -> 17.3 (MP) / 11.7 (no-pref) / 7.3 (pref);
+4 KB -> 55.4 / 16.4 / 8.6.
+"""
+
+from repro.experiments import fig7_memcpy
+
+
+def _by(res, impl):
+    return {r["block_bytes"]: r for r in res.rows if r["implementation"] == impl}
+
+
+def test_bench_fig7_curves(once):
+    res = once(lambda: fig7_memcpy.run())
+    mp = _by(res, "message-passing")
+    plain = _by(res, "no-prefetching")
+    pref = _by(res, "prefetching")
+
+    # ordering at large blocks: MP fastest, prefetching slowest
+    assert mp[4096]["cycles"] < plain[4096]["cycles"] < pref[4096]["cycles"]
+    # MP at least 3x faster than no-prefetching at 4 KB (paper: 3.4x)
+    assert plain[4096]["cycles"] / mp[4096]["cycles"] > 3.0
+    # crossover: shared-memory wins for the smallest block
+    assert plain[64]["cycles"] < mp[64]["cycles"]
+    # MP bandwidth grows with block size (fixed overhead amortizes)
+    assert mp[4096]["MB_per_s"] > 2 * mp[256]["MB_per_s"]
+    # bandwidth ballparks vs paper anchors
+    assert 35 <= mp[4096]["MB_per_s"] <= 80
+    assert 8 <= plain[4096]["MB_per_s"] <= 25

@@ -1,0 +1,22 @@
+"""Fig. 8: accum (sum a remote array), SM vs MP.
+
+Paper shape: MP ~2x slower at small blocks narrowing toward ~1.3x at
+large blocks; SM wins across the whole range.
+"""
+
+from repro.experiments import fig8_accum
+
+
+def test_bench_fig8_curves(once):
+    res = once(lambda: fig8_accum.run())
+    sm = {r["block_bytes"]: r["cycles"] for r in res.rows if r["implementation"] == "shared-memory"}
+    mp = {r["block_bytes"]: r["cycles"] for r in res.rows if r["implementation"] == "message-passing"}
+    sizes = sorted(sm)
+    # SM wins at every size
+    for s in sizes:
+        assert sm[s] < mp[s], f"SM should win accum at {s} B"
+    # the MP handicap narrows as blocks grow
+    small_ratio = mp[sizes[0]] / sm[sizes[0]]
+    large_ratio = mp[sizes[-1]] / sm[sizes[-1]]
+    assert large_ratio < small_ratio
+    assert 1.1 <= large_ratio <= 2.2, f"large-block ratio {large_ratio}"

@@ -1,0 +1,27 @@
+"""Fig. 9: grain speedup on 64 processors, hybrid vs SM-only scheduler.
+
+Paper: speedups 12.0 vs 6.3 at l=0 (hybrid ~2x) and 48.6 vs 36.4 at
+l=1000 (hybrid ~1.33x) for n=12.
+"""
+
+from repro.experiments import fig9_grain
+
+#: trimmed sweep for the benchmark harness (the CLI runs the full one)
+BENCH_DELAYS = (0, 200, 1000)
+
+
+def test_bench_fig9_speedups(once):
+    res = once(lambda: fig9_grain.run(delays=BENCH_DELAYS))
+    by_l = {r["delay_l"]: r for r in res.rows}
+    # fine grain: hybrid ~2x better
+    assert by_l[0]["hybrid_over_sm"] > 1.5
+    # advantage shrinks monotonically with grain size
+    ratios = [by_l[l]["hybrid_over_sm"] for l in BENCH_DELAYS]
+    assert ratios[0] > ratios[-1]
+    # coarse grain: both schedulers scale well, hybrid still ahead
+    assert by_l[1000]["speedup_hybrid"] > 40
+    assert by_l[1000]["speedup_sm"] > 30
+    assert by_l[1000]["hybrid_over_sm"] > 1.0
+    # absolute ballparks vs the paper
+    assert 8 <= by_l[0]["speedup_hybrid"] <= 20
+    assert 4 <= by_l[0]["speedup_sm"] <= 11

@@ -1,0 +1,18 @@
+"""§4.2 barrier table: SM combining tree vs MP combining tree.
+
+Paper (64 procs): SM six-level binary tree ≈1650 cycles; MP two-level
+eight-ary tree ≈660 cycles — messages win by ~2.5x.
+"""
+
+from repro.experiments import barrier_exp
+
+
+def test_bench_barrier_table(once):
+    res = once(lambda: barrier_exp.run(n_nodes=64))
+    rows = {r["implementation"]: r["cycles"] for r in res.rows}
+    sm = rows["shared-memory (binary tree)"]
+    mp = rows["message-passing (8-ary tree)"]
+    # shape: messages clearly faster, within the paper's ballpark
+    assert mp < sm / 1.8, f"MP barrier should win ~2.5x (got {sm} vs {mp})"
+    assert 500 <= sm <= 4000, f"SM barrier {sm} far from paper's 1650"
+    assert 150 <= mp <= 1500, f"MP barrier {mp} far from paper's 660"

@@ -1,0 +1,20 @@
+"""§4.3 remote thread invocation table: Tinvoker / Tinvokee.
+
+Paper: SM 353/805 cycles; message-based 17/244 cycles.
+"""
+
+from repro.experiments import rti_exp
+
+
+def test_bench_rti_table(once):
+    res = once(lambda: rti_exp.run(n_nodes=64))
+    rows = {r["implementation"]: r for r in res.rows}
+    sm = rows["shared-memory"]
+    mp = rows["message-based"]
+    # the invoker is freed orders of magnitude sooner with messages
+    assert mp["Tinvoker"] < sm["Tinvoker"] / 10
+    # the invoked thread also starts much sooner
+    assert mp["Tinvokee"] < sm["Tinvokee"] / 2
+    # absolute ballparks vs the paper
+    assert 150 <= sm["Tinvoker"] <= 700, sm
+    assert 5 <= mp["Tinvoker"] <= 40, mp

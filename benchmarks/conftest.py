@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper table/figure inside the simulator.
+Simulated cycle counts are deterministic, so every bench runs a
+single round; pytest-benchmark reports the wall time of the
+simulation while the reproduced table itself is printed and attached
+to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: reproduced tables collected across the session, echoed in the
+#: terminal summary (so `pytest benchmarks/ --benchmark-only | tee ...`
+#: captures them even with output capture on)
+_TABLES: list[str] = []
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(benchmark, result) -> None:
+    """Print the reproduced table and attach it to the benchmark."""
+    table = result.format_table()
+    print()
+    print(table)
+    _TABLES.append(table)
+    benchmark.extra_info["table"] = table
+    benchmark.extra_info["exp_id"] = result.exp_id
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduced tables (paper vs measured)")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture combining run_once + report: ``res = once(fn)``."""
+
+    def _run(fn):
+        result = run_once(benchmark, fn)
+        report(benchmark, result)
+        return result
+
+    return _run

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Adaptive quadrature on the hybrid runtime (paper §4.5, Fig. 10).
+
+Integrates a bivariate function with a sharp ridge over the unit
+square. The recursion tree is highly irregular — some quadrants stop
+immediately, the ridge region refines many levels deep — which is
+exactly the dynamic, unpredictable parallelism the paper argues needs
+hardware-supported fine-grained sharing plus cheap task migration.
+
+Run:  python examples/adaptive_quadrature.py
+"""
+
+from repro import Machine, MachineConfig, Runtime
+from repro.apps.aq import (
+    aq_parallel,
+    count_nodes,
+    default_integrand,
+    sequential_cycles,
+)
+
+TOL = 3e-4
+DOMAIN = (0.0, 0.0, 1.0, 1.0)
+
+
+def main() -> None:
+    x0, y0, x1, y1 = DOMAIN
+    n_tree = count_nodes(default_integrand, x0, y0, x1, y1, TOL)
+    seq = sequential_cycles(default_integrand, x0, y0, x1, y1, TOL)
+    print(
+        f"integrating over the unit square, tol={TOL:g}: "
+        f"{n_tree:,} recursion nodes, sequential {seq/33e3:.1f} ms\n"
+    )
+
+    results = {}
+    for kind in ("sm", "hybrid"):
+        m = Machine(MachineConfig(n_nodes=16))
+        rt = Runtime(m, scheduler=kind)
+        value, cycles = rt.run_to_completion(
+            0,
+            lambda rt, nd: aq_parallel(
+                rt, nd, default_integrand, x0, y0, x1, y1, TOL
+            ),
+        )
+        results[kind] = value
+        print(
+            f"  {kind:>6} scheduler: integral = {value:.6f}   "
+            f"speedup {seq / cycles:4.1f} on 16 nodes"
+        )
+
+    assert abs(results["sm"] - results["hybrid"]) < 1e-12
+    print(
+        "\nBoth schedulers compute the identical integral; the hybrid"
+        "\none gets there faster because task migration is one message"
+        "\ninstead of a locked shared-memory queue transaction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Three ways to tolerate remote-memory latency (paper §2.2).
+
+The paper lists the latency-tolerance arsenal of a shared-memory
+machine: prefetching, weak ordering, and (on Alewife specifically)
+Sparcle's fast context switching. This example runs the same
+remote-streaming kernel under each mechanism and under plain blocking
+loads, on identical hardware.
+
+Kernel: sum a 4 KB array that lives on a neighbouring node
+(the Fig. 8 `accum` inner loop).
+
+Run:  python examples/latency_tolerance.py
+"""
+
+from repro import Compute, Load, Machine, MachineConfig, Prefetch, Store
+from repro.proc.effects import Fence
+from repro.params import MachineConfig as _MC, ProcessorParams
+
+N_ELEMS = 512  # 4 KB of doublewords
+LINE_ELEMS = 2
+
+
+def build(proc_params=None):
+    m = Machine(
+        MachineConfig(n_nodes=4, processor=proc_params or ProcessorParams())
+    )
+    arr = m.alloc(1, N_ELEMS * 8)
+    for i in range(N_ELEMS):
+        m.store.write(arr + i * 8, i)
+    return m, arr
+
+
+def sum_loop(m, arr, prefetch_depth=0):
+    total = 0
+    for i in range(N_ELEMS):
+        if prefetch_depth and i % LINE_ELEMS == 0:
+            ahead = i + prefetch_depth * LINE_ELEMS
+            if ahead < N_ELEMS:
+                yield Prefetch(arr + ahead * 8)
+        v = yield Load(arr + i * 8)
+        total += v
+        yield Compute(2)
+    assert total == sum(range(N_ELEMS))
+    return m.sim.now
+
+
+def run_blocking():
+    m, arr = build()
+    box = []
+    m.processor(0).run_thread(sum_loop(m, arr), on_finish=box.append)
+    m.run()
+    return box[0]
+
+
+def run_prefetch():
+    m, arr = build()
+    box = []
+    m.processor(0).run_thread(sum_loop(m, arr, prefetch_depth=2), on_finish=box.append)
+    m.run()
+    return box[0]
+
+
+def run_multicontext():
+    """Split the array across four threads on one processor; Sparcle's
+    switch-on-miss overlaps their misses."""
+    m, arr = build(ProcessorParams(hw_contexts=4))
+    done = []
+
+    def part(start, stop):
+        total = 0
+        for i in range(start, stop):
+            v = yield Load(arr + i * 8)
+            total += v
+            yield Compute(2)
+        return total
+
+    quarter = N_ELEMS // 4
+    for t in range(4):
+        m.processor(0).run_thread(
+            part(t * quarter, (t + 1) * quarter), on_finish=done.append
+        )
+    m.run()
+    assert sum(done) == sum(range(N_ELEMS))
+    return m.sim.now
+
+
+def run_weak_ordering_writeback():
+    """The write-side counterpart: stream results back to the remote
+    node through a store buffer."""
+    m, arr = build(ProcessorParams(store_buffer_depth=8))
+    dst = m.alloc(1, N_ELEMS * 8)
+    box = []
+
+    def kernel():
+        for i in range(N_ELEMS):
+            v = yield Load(arr + i * 8)
+            yield Store(dst + i * 8, v * 2)
+            yield Compute(1)
+        yield Fence()
+        box.append(m.sim.now)
+
+    m.processor(0).run_thread(kernel())
+    m.run()
+    return box[0]
+
+
+def main() -> None:
+    rows = [
+        ("blocking loads", run_blocking()),
+        ("prefetch 2 blocks ahead", run_prefetch()),
+        ("4 hardware contexts", run_multicontext()),
+    ]
+    print("summing a 4 KB remote array (same machine, same kernel):\n")
+    base = rows[0][1]
+    for name, cycles in rows:
+        print(f"  {name:<26} {cycles:>7,} cycles   ({base / cycles:4.2f}x)")
+    wb = run_weak_ordering_writeback()
+    print(
+        f"\n  read+write stream with an 8-deep store buffer: {wb:,} cycles"
+        "\n  (weak ordering pipelines the write transactions; the final"
+        "\n   Fence is where sequential consistency is re-established)"
+    )
+    print(
+        "\nAll three mechanisms attack the same §2.2 problem — keeping"
+        "\nthe processor busy while coherent remote transactions fly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Combining synchronization with data transfer (paper §2.2).
+
+A producer computes a small record and hands it to a consumer on
+another node. Two implementations:
+
+* shared-memory: the producer writes the data, then sets a flag; the
+  consumer spins on the flag and then reads the data — synchronization
+  and data travel as *separate* coherence transactions, and the
+  consumer cannot usefully prefetch the data before the flag flips.
+* message: one message bundles the synchronization event and the
+  payload; the consumer's handler has everything on arrival.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro import Compute, Load, Machine, MachineConfig, Send, Store
+
+RECORD_WORDS = 6  # a small record: header + a few payload words
+PRODUCE_TIME = 400
+
+
+def run_shared_memory() -> int:
+    m = Machine(MachineConfig(n_nodes=2))
+    data = [m.alloc(0, 8) for _ in range(RECORD_WORDS)]
+    flag = m.alloc(0, 8)
+    received = []
+
+    def producer():
+        yield Compute(PRODUCE_TIME)
+        for i, addr in enumerate(data):
+            yield Store(addr, 100 + i)
+        yield Store(flag, 1)  # separate synchronization write
+
+    def consumer():
+        while True:  # spin on the flag
+            v = yield Load(flag)
+            if v:
+                break
+            yield Compute(6)
+        record = []
+        for addr in data:  # then fetch the payload
+            record.append((yield Load(addr)))
+        received.append((record, m.sim.now))
+
+    m.processor(0).run_thread(producer())
+    m.processor(1).run_thread(consumer())
+    m.run()
+    record, t = received[0]
+    assert record == [100 + i for i in range(RECORD_WORDS)]
+    return t
+
+
+def run_message() -> int:
+    m = Machine(MachineConfig(n_nodes=2))
+    received = []
+
+    def handler(msg):
+        yield Compute(4)
+        received.append((list(msg.operands), m.sim.now))
+
+    m.processor(1).register_handler("record", handler)
+
+    def producer():
+        yield Compute(PRODUCE_TIME)
+        yield Send(1, "record", operands=tuple(100 + i for i in range(RECORD_WORDS)))
+
+    m.processor(0).run_thread(producer())
+    m.run()
+    record, t = received[0]
+    assert record == [100 + i for i in range(RECORD_WORDS)]
+    return t
+
+
+def main() -> None:
+    t_sm = run_shared_memory()
+    t_mp = run_message()
+    print("producer-consumer handoff (production takes "
+          f"{PRODUCE_TIME} cycles):\n")
+    print(f"  shared-memory (flag + reads): data ready at consumer after {t_sm} cycles")
+    print(f"  single message (sync + data): data ready at consumer after {t_mp} cycles")
+    print(f"\n  post-production latency: {t_sm - PRODUCE_TIME} vs "
+          f"{t_mp - PRODUCE_TIME} cycles "
+          f"({(t_sm - PRODUCE_TIME) / (t_mp - PRODUCE_TIME):.1f}x)")
+    print(
+        "\nBundling the synchronization event with the data in one"
+        "\nmessage removes the flag round-trip and the per-line fetches"
+        "\n(paper §2.2, 'Combining Synchronization with Data Transfer')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Language-level integration: a shared-object space (paper §6).
+
+The paper closes by noting that "a shared-object space with messages
+is the basis for implementing a parallel object-oriented language".
+This example builds a shared counter object and invokes it from every
+node under the two access policies the integrated hardware makes
+possible:
+
+* ``policy="data"``    — move the data: callers read/write the fields
+  through coherent shared memory (great when reads dominate — fields
+  stay cached everywhere).
+* ``policy="compute"`` — move the computation: callers send one
+  message and the object's home executes the method (great when
+  writes dominate — no ownership ping-pong).
+
+Run:  python examples/shared_objects.py
+"""
+
+from repro import Compute, Machine, MachineConfig
+from repro.ext import ObjectSpace
+
+N_NODES = 16
+CALLS_PER_NODE = 10
+
+
+def build_counter(m):
+    space = ObjectSpace(m)
+    return space.create(
+        home=0,
+        fields={"count": 0, "sum": 0},
+        methods={
+            "add": lambda f, x: (None, {"count": f["count"] + 1, "sum": f["sum"] + x}),
+            "read": lambda f: ((f["count"], f["sum"]), {}),
+        },
+        read_only={"read"},
+    )
+
+
+def run_workload(policy: str, write_fraction: float) -> int:
+    m = Machine(MachineConfig(n_nodes=N_NODES))
+    obj = build_counter(m)
+
+    def caller(node):
+        for i in range(CALLS_PER_NODE):
+            if (i * 997 + node) % 100 < write_fraction * 100:
+                yield from obj.invoke(node, "add", (1,), policy=policy)
+            else:
+                yield from obj.invoke(node, "read", policy=policy)
+            yield Compute(40)
+
+    for node in range(1, N_NODES):
+        m.processor(node).run_thread(caller(node))
+    m.run()
+    return m.sim.now
+
+
+def main() -> None:
+    print(
+        f"{N_NODES - 1} nodes x {CALLS_PER_NODE} method calls on one shared "
+        "object (home = node 0)\n"
+    )
+    print(f"{'workload':<22} {'move-the-data':>14} {'move-the-compute':>17}  winner")
+    for label, wf in (("read-only (0% wr)", 0.0), ("read-mostly (5% wr)", 0.05), ("write-hot (50% wr)", 0.5)):
+        t_data = run_workload("data", wf)
+        t_comp = run_workload("compute", wf)
+        winner = "data" if t_data < t_comp else "compute"
+        print(f"{label:<22} {t_data:>12,}cy {t_comp:>15,}cy  {winner}")
+    print(
+        "\nThe integrated machine lets the object system pick per call:"
+        "\ncached (seqlock) shared-memory reads when sharing is read-only,"
+        "\none-message method shipping as soon as writes appear — each"
+        "\nwrite invalidates every reader's copy AND overflows the"
+        "\nLimitLESS hardware pointers, so the crossover sits at a"
+        "\nsurprisingly small write fraction."
+    )
+
+
+if __name__ == "__main__":
+    main()

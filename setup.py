@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment has setuptools but no ``wheel`` package,
+so PEP-660 editable installs (which build a wheel) fail. This shim
+lets ``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

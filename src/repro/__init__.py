@@ -1,0 +1,83 @@
+"""alewife-py: reproduction of *Integrating Message-Passing and
+Shared-Memory: Early Experience* (Kranz, Johnson, Agarwal,
+Kubiatowicz & Lim — PPoPP 1993).
+
+A cycle-approximate discrete-event model of the MIT Alewife machine —
+mesh interconnect, LimitLESS directory-coherent caches, and the CMMU
+message interface — plus the Alewife runtime system (lazy-task-
+creation scheduling in shared-memory-only and hybrid flavours,
+combining-tree barriers, remote thread invocation, DMA bulk transfer)
+and the paper's applications and experiments.
+
+Quick start::
+
+    from repro import Machine, MachineConfig, Runtime, Compute
+
+    m = Machine(MachineConfig(n_nodes=16))
+    rt = Runtime(m, scheduler="hybrid")
+
+    def tree(rt, node, depth):
+        if depth == 0:
+            yield Compute(100)
+            return 1
+        fut = yield from rt.fork(node, lambda rt, nd: tree(rt, nd, depth - 1))
+        right = yield from tree(rt, node, depth - 1)
+        left = yield from rt.join(node, fut)
+        return left + right
+
+    result, cycles = rt.run_to_completion(0, lambda rt, nd: tree(rt, nd, 8))
+"""
+
+from repro.machine import Machine, MachineConfig
+from repro.params import CmmuParams, NetworkParams, ProcessorParams
+from repro.memory import CoherenceParams
+from repro.proc import (
+    Compute,
+    FetchOp,
+    Load,
+    Prefetch,
+    Send,
+    SetIMask,
+    Store,
+    Storeback,
+    Suspend,
+    Yield,
+)
+from repro.runtime import (
+    BulkTransfer,
+    Future,
+    MPTreeBarrier,
+    Runtime,
+    RuntimeParams,
+    SMTreeBarrier,
+    SpinLock,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BulkTransfer",
+    "CmmuParams",
+    "CoherenceParams",
+    "Compute",
+    "FetchOp",
+    "Future",
+    "Load",
+    "MPTreeBarrier",
+    "Machine",
+    "MachineConfig",
+    "NetworkParams",
+    "Prefetch",
+    "ProcessorParams",
+    "Runtime",
+    "RuntimeParams",
+    "SMTreeBarrier",
+    "Send",
+    "SetIMask",
+    "SpinLock",
+    "Store",
+    "Storeback",
+    "Suspend",
+    "Yield",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis helpers: unit conversion, tables, ASCII figures."""
+
+from repro.analysis.report import MachineReport, collect
+from repro.analysis.metrics import (
+    cycles_to_msec,
+    cycles_to_usec,
+    mbytes_per_sec,
+    ratio_error,
+    speedup,
+)
+from repro.analysis.tables import ExperimentResult, ascii_plot, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "MachineReport",
+    "ascii_plot",
+    "collect",
+    "cycles_to_msec",
+    "cycles_to_usec",
+    "format_table",
+    "mbytes_per_sec",
+    "ratio_error",
+    "speedup",
+]

@@ -1,0 +1,38 @@
+"""Unit conversions and derived metrics (33 MHz Alewife clock)."""
+
+from __future__ import annotations
+
+DEFAULT_CLOCK_MHZ = 33.0
+
+
+def cycles_to_usec(cycles: float, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """One cycle at 33 MHz is ~30.3 ns."""
+    if clock_mhz <= 0:
+        raise ValueError("clock must be positive")
+    return cycles / clock_mhz
+
+
+def cycles_to_msec(cycles: float, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    return cycles / (clock_mhz * 1000.0)
+
+
+def mbytes_per_sec(
+    nbytes: int, cycles: float, clock_mhz: float = DEFAULT_CLOCK_MHZ
+) -> float:
+    """Achieved bandwidth moving ``nbytes`` in ``cycles`` cycles."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return nbytes * clock_mhz / cycles
+
+
+def speedup(sequential_cycles: float, parallel_cycles: float) -> float:
+    if parallel_cycles <= 0:
+        raise ValueError("parallel cycles must be positive")
+    return sequential_cycles / parallel_cycles
+
+
+def ratio_error(measured: float, paper: float) -> float:
+    """Relative deviation of a measured value from the paper's value."""
+    if paper == 0:
+        raise ValueError("paper value must be nonzero")
+    return (measured - paper) / paper

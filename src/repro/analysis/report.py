@@ -1,0 +1,152 @@
+"""Machine-wide statistics report.
+
+Aggregates the counters every component keeps (caches, directories,
+network, CMMUs, processors) into one structured summary — the
+simulator-side equivalent of Alewife's performance-monitoring
+readouts. Useful for explaining *why* an experiment behaved the way
+it did (e.g. how many invalidations the SM barrier generated vs how
+many messages the MP one sent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.machine.machine import Machine
+from repro.network.packet import PROTOCOL_KINDS
+
+
+@dataclass
+class MachineReport:
+    """Snapshot of all counters after (or during) a run."""
+
+    cycles: int
+    n_nodes: int
+    # caches
+    cache_hits: int
+    cache_misses: int
+    invalidations_received: int
+    writebacks: int
+    # coherence
+    transactions: int
+    read_misses: int
+    write_misses: int
+    forwards: int
+    invalidations_sent: int
+    limitless_traps: int
+    # network
+    packets: int
+    words: int
+    protocol_packets: int
+    software_packets: int
+    mean_packet_latency: float
+    # messaging
+    messages_sent: int
+    interrupts: int
+    dma_transfers: int
+    dma_words: int
+    # processors
+    handlers_run: int
+    contexts_run: int
+    effects: int
+    per_node: list[dict] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def format(self) -> str:
+        rows = [
+            {"metric": "simulated cycles", "value": self.cycles},
+            {"metric": "cache hit rate", "value": round(self.cache_hit_rate, 3)},
+            {"metric": "coherence transactions", "value": self.transactions},
+            {"metric": "  read / write misses",
+             "value": f"{self.read_misses} / {self.write_misses}"},
+            {"metric": "  forwards (3-party)", "value": self.forwards},
+            {"metric": "  invalidations", "value": self.invalidations_sent},
+            {"metric": "  LimitLESS traps", "value": self.limitless_traps},
+            {"metric": "network packets (proto/sw)",
+             "value": f"{self.protocol_packets} / {self.software_packets}"},
+            {"metric": "mean packet latency", "value": round(self.mean_packet_latency, 1)},
+            {"metric": "messages sent", "value": self.messages_sent},
+            {"metric": "message interrupts", "value": self.interrupts},
+            {"metric": "DMA transfers / words",
+             "value": f"{self.dma_transfers} / {self.dma_words}"},
+            {"metric": "handlers / threads run",
+             "value": f"{self.handlers_run} / {self.contexts_run}"},
+            {"metric": "effects executed", "value": self.effects},
+        ]
+        return format_table(
+            f"machine report ({self.n_nodes} nodes)", ["metric", "value"], rows
+        )
+
+
+def collect(machine: Machine) -> MachineReport:
+    """Aggregate all component counters of ``machine``."""
+    net = machine.network.stats
+    coh = machine.coherence.stats
+    proto = sum(net.by_kind[k] for k in PROTOCOL_KINDS if k in net.by_kind)
+    per_node = []
+    totals = dict(
+        cache_hits=0, cache_misses=0, inv_recv=0, wbacks=0,
+        msgs=0, interrupts=0, dma=0, dma_words=0,
+        handlers=0, contexts=0, effects=0, traps=0, inv_sent=0,
+    )
+    for node in machine.nodes:
+        cs = node.cache.stats
+        ds = node.directory.stats
+        ms = node.cmmu.stats
+        ps = node.processor.stats
+        per_node.append(
+            {
+                "node": node.node_id,
+                "hits": cs.hits,
+                "misses": cs.misses,
+                "messages": ms.messages_sent,
+                "handlers": ps.handlers_run,
+                "busy_cycles": ps.busy_cycles,
+            }
+        )
+        totals["cache_hits"] += cs.hits
+        totals["cache_misses"] += cs.misses
+        totals["inv_recv"] += cs.invalidations_received
+        totals["wbacks"] += cs.writebacks
+        totals["msgs"] += ms.messages_sent
+        totals["interrupts"] += ms.interrupts_raised
+        totals["dma"] += ms.dma_transfers
+        totals["dma_words"] += ms.data_words_sent
+        totals["handlers"] += ps.handlers_run
+        totals["contexts"] += ps.contexts_run
+        totals["effects"] += ps.effects
+        totals["traps"] += ds.software_traps
+        totals["inv_sent"] += ds.invalidations_sent
+
+    return MachineReport(
+        cycles=machine.sim.now,
+        n_nodes=machine.n_nodes,
+        cache_hits=totals["cache_hits"],
+        cache_misses=totals["cache_misses"],
+        invalidations_received=totals["inv_recv"],
+        writebacks=totals["wbacks"],
+        transactions=coh.transactions,
+        read_misses=coh.read_misses,
+        write_misses=coh.write_misses,
+        forwards=coh.forwards,
+        invalidations_sent=totals["inv_sent"],
+        limitless_traps=totals["traps"],
+        packets=net.packets,
+        words=net.words,
+        protocol_packets=proto,
+        software_packets=net.packets - proto,
+        mean_packet_latency=net.mean_latency,
+        messages_sent=totals["msgs"],
+        interrupts=totals["interrupts"],
+        dma_transfers=totals["dma"],
+        dma_words=totals["dma_words"],
+        handlers_run=totals["handlers"],
+        contexts_run=totals["contexts"],
+        effects=totals["effects"],
+        per_node=per_node,
+    )

@@ -1,0 +1,124 @@
+"""Result containers and plain-text rendering for experiments.
+
+Every experiment driver returns an :class:`ExperimentResult`; the
+benchmark harness and the CLI render it as the table/series the paper
+reports, side-by-side with the paper's numbers where the paper states
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    exp_id: str            # e.g. "fig7"
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **kw: Any) -> None:
+        missing = [c for c in self.columns if c not in kw]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(kw)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {self.exp_id}")
+        return [r[name] for r in self.rows]
+
+    def format_table(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def format_table(
+    title: str, columns: Sequence[str], rows: Sequence[dict], notes: str = ""
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(
+        " | ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    out = [f"== {title} ==", header, sep]
+    if body:
+        out.append(body)
+    if notes:
+        out.append(f"({notes})")
+    return "\n".join(out)
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Minimal ASCII scatter/line plot for terminal figures.
+
+    ``series`` maps a label to ``(x, y)`` points; each series is drawn
+    with its own glyph.
+    """
+    import math
+
+    glyphs = "*o+x#@%&"
+    pts_all = [(x, y) for pts in series.values() for x, y in pts]
+    if not pts_all:
+        raise ValueError("nothing to plot")
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    xs = [tx(x) for x, _ in pts_all]
+    ys = [ty(y) for _, y in pts_all]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for gi, (label, pts) in enumerate(series.items()):
+        g = glyphs[gi % len(glyphs)]
+        for x, y in pts:
+            cx = int((tx(x) - x0) / xr * (width - 1))
+            cy = int((ty(y) - y0) / yr * (height - 1))
+            grid[height - 1 - cy][cx] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

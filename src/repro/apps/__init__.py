@@ -1,0 +1,28 @@
+"""The paper's applications: accum, grain, aq, jacobi."""
+
+from repro.apps.accum import (
+    AccumFetchService,
+    accum_message_passing,
+    accum_shared_memory,
+    fill_array,
+)
+from repro.apps.aq import aq_parallel, aq_sequential, count_nodes, default_integrand
+from repro.apps.grain import grain_parallel, grain_sequential, sequential_cycles
+from repro.apps.jacobi import JacobiApp, initial_grid, reference_jacobi
+
+__all__ = [
+    "AccumFetchService",
+    "JacobiApp",
+    "accum_message_passing",
+    "accum_shared_memory",
+    "aq_parallel",
+    "aq_sequential",
+    "count_nodes",
+    "default_integrand",
+    "fill_array",
+    "grain_parallel",
+    "grain_sequential",
+    "initial_grid",
+    "reference_jacobi",
+    "sequential_cycles",
+]

@@ -1,0 +1,140 @@
+"""``aq`` (paper §4.5, Fig. 10): adaptive quadrature of a bivariate
+function over a rectangular domain.
+
+Recursive divide-and-conquer: estimate the integral over a rectangle
+with a coarse rule and with a refined (2x2 subrectangle) rule; where
+the two disagree by more than a tolerance, subdivide and recurse.
+The integrand has sharply varying regions, so the call tree is
+irregular — exactly the dynamic behaviour the paper uses to stress
+the scheduler. Problem size is scaled by tightening the tolerance
+(the paper: "changing the threshold for what is to be considered
+sufficiently smooth").
+
+The numeric result is real (midpoint rules over actual function
+values) and is validated against scipy in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator
+
+from repro.proc.effects import Compute
+
+#: cycles charged per integrand evaluation (transcendental math on a
+#: 33 MHz Sparcle)
+EVAL_COST = 30
+#: bookkeeping per recursion node (estimates, comparison, call overhead)
+NODE_COST = 40
+
+
+def default_integrand(x: float, y: float) -> float:
+    """Smooth background plus a sharp off-center ridge: forces deep
+    refinement in a small part of the domain (irregular call tree)."""
+    return math.sin(3.0 * x) * math.cos(2.0 * y) + 5.0 / (
+        1.0 + 400.0 * ((x - 0.3) ** 2 + (y - 0.6) ** 2)
+    )
+
+
+def _coarse(f: Callable, x0: float, y0: float, x1: float, y1: float) -> float:
+    """One-point midpoint rule."""
+    return f((x0 + x1) / 2, (y0 + y1) / 2) * (x1 - x0) * (y1 - y0)
+
+
+def _refined(f: Callable, x0: float, y0: float, x1: float, y1: float) -> float:
+    """2x2 midpoint rule."""
+    xm, ym = (x0 + x1) / 2, (y0 + y1) / 2
+    return (
+        _coarse(f, x0, y0, xm, ym)
+        + _coarse(f, xm, y0, x1, ym)
+        + _coarse(f, x0, ym, xm, y1)
+        + _coarse(f, xm, ym, x1, y1)
+    )
+
+
+def _quads(x0, y0, x1, y1):
+    xm, ym = (x0 + x1) / 2, (y0 + y1) / 2
+    return (
+        (x0, y0, xm, ym),
+        (xm, y0, x1, ym),
+        (x0, ym, xm, y1),
+        (xm, ym, x1, y1),
+    )
+
+
+def aq_sequential(
+    f: Callable,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    tol: float,
+    max_depth: int = 30,
+) -> Generator:
+    """Plain recursion (speedup baseline); returns the integral."""
+    yield Compute(NODE_COST + 5 * EVAL_COST)  # coarse + refined rules
+    coarse = _coarse(f, x0, y0, x1, y1)
+    refined = _refined(f, x0, y0, x1, y1)
+    if abs(refined - coarse) <= tol or max_depth == 0:
+        return refined
+    total = 0.0
+    for qx0, qy0, qx1, qy1 in _quads(x0, y0, x1, y1):
+        part = yield from aq_sequential(f, qx0, qy0, qx1, qy1, tol / 4, max_depth - 1)
+        total += part
+    return total
+
+
+def aq_parallel(
+    rt,
+    node: int,
+    f: Callable,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    tol: float,
+    max_depth: int = 30,
+) -> Generator:
+    """Lazy-task-creation version: fork three subrectangles, recurse
+    into the fourth, join."""
+    yield Compute(NODE_COST + 5 * EVAL_COST)
+    coarse = _coarse(f, x0, y0, x1, y1)
+    refined = _refined(f, x0, y0, x1, y1)
+    if abs(refined - coarse) <= tol or max_depth == 0:
+        return refined
+    quads = _quads(x0, y0, x1, y1)
+    futures = []
+    for qx0, qy0, qx1, qy1 in quads[:3]:
+        fut = yield from rt.fork(
+            node,
+            lambda rt, nd, q=(qx0, qy0, qx1, qy1): aq_parallel(
+                rt, nd, f, q[0], q[1], q[2], q[3], tol / 4, max_depth - 1
+            ),
+        )
+        futures.append(fut)
+    qx0, qy0, qx1, qy1 = quads[3]
+    total = yield from aq_parallel(rt, node, f, qx0, qy0, qx1, qy1, tol / 4, max_depth - 1)
+    for fut in reversed(futures):
+        part = yield from rt.join(node, fut)
+        total += part
+    return total
+
+
+def count_nodes(
+    f: Callable, x0: float, y0: float, x1: float, y1: float, tol: float, max_depth: int = 30
+) -> int:
+    """Size of the recursion tree (diagnostics / problem-size scaling)."""
+    coarse = _coarse(f, x0, y0, x1, y1)
+    refined = _refined(f, x0, y0, x1, y1)
+    if abs(refined - coarse) <= tol or max_depth == 0:
+        return 1
+    return 1 + sum(
+        count_nodes(f, *q, tol / 4, max_depth - 1) for q in _quads(x0, y0, x1, y1)
+    )
+
+
+def sequential_cycles(
+    f: Callable, x0: float, y0: float, x1: float, y1: float, tol: float, max_depth: int = 30
+) -> int:
+    """Analytic sequential running time."""
+    return count_nodes(f, x0, y0, x1, y1, tol, max_depth) * (NODE_COST + 5 * EVAL_COST)

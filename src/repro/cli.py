@@ -1,0 +1,158 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    alewife-repro list
+    alewife-repro run fig7
+    alewife-repro run all
+    alewife-repro run fig9 --nodes 16 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.tables import ExperimentResult, ascii_plot
+from repro.experiments import ALL_EXPERIMENTS
+
+#: trimmed parameterizations for --quick (CI-sized runs)
+QUICK_ARGS = {
+    "barrier": dict(n_nodes=16),
+    "rti": dict(n_nodes=16, trials=3),
+    "fig7": dict(block_sizes=(64, 256, 1024)),
+    "fig8": dict(block_sizes=(64, 256, 1024)),
+    "fig9": dict(delays=(0, 1000), depth=9, n_nodes=16),
+    "fig10": dict(tols=(3e-3, 1e-3), n_nodes=16),
+    "fig11": dict(grid_sizes=(32, 64), n_nodes=16, iters=3),
+}
+
+#: experiments that accept an ``n_nodes`` keyword
+NODES_KW = {"barrier": "n_nodes", "rti": "n_nodes", "fig9": "n_nodes", "fig10": "n_nodes", "fig11": "n_nodes"}
+
+
+def plot_result(res: ExperimentResult) -> str | None:
+    """Render figure-style experiments as ASCII plots (paper axes)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    if res.exp_id in ("fig7", "fig8"):
+        for r in res.rows:
+            series.setdefault(r["implementation"], []).append(
+                (r["block_bytes"], r["cycles"])
+            )
+        return ascii_plot(
+            series, logx=True, logy=True,
+            title=f"{res.title} — cycles vs block size (log-log)",
+        )
+    if res.exp_id == "fig9":
+        for r in res.rows:
+            series.setdefault("hybrid", []).append((r["delay_l"] + 1, r["speedup_hybrid"]))
+            series.setdefault("sm-only", []).append((r["delay_l"] + 1, r["speedup_sm"]))
+        return ascii_plot(series, title=f"{res.title} — speedup vs delay l")
+    if res.exp_id == "fig10":
+        for r in res.rows:
+            series.setdefault("hybrid", []).append((r["seq_msec"], r["speedup_hybrid"]))
+            series.setdefault("sm-only", []).append((r["seq_msec"], r["speedup_sm"]))
+        return ascii_plot(
+            series, logx=True, title=f"{res.title} — speedup vs problem size"
+        )
+    if res.exp_id == "fig11":
+        for r in res.rows:
+            side = int(r["grid"].split("x")[0])
+            series.setdefault("shared-memory", []).append((side, r["cycles_per_iter_sm"]))
+            series.setdefault("message-passing", []).append((side, r["cycles_per_iter_mp"]))
+        return ascii_plot(
+            series, logx=True, logy=True,
+            title=f"{res.title} — cycles/iteration vs grid side",
+        )
+    return None
+
+
+def run_experiment(
+    exp_id: str, quick: bool = False, nodes: int | None = None, plot: bool = False
+) -> str:
+    fn = ALL_EXPERIMENTS[exp_id]
+    kwargs = dict(QUICK_ARGS[exp_id]) if quick else {}
+    if nodes is not None:
+        kw = NODES_KW.get(exp_id)
+        if kw is None:
+            raise SystemExit(f"experiment {exp_id!r} does not take a node count")
+        kwargs[kw] = nodes
+    result = fn(**kwargs)
+    out = result.format_table()
+    if plot:
+        fig = plot_result(result)
+        if fig is not None:
+            out += "\n\n" + fig
+    return out
+
+
+def run_demo() -> str:
+    """An instrumented end-to-end run: 16-node machine, hybrid runtime,
+    a fork/join tree, with the tracer and machine report attached."""
+    from repro.analysis.report import collect
+    from repro.apps.grain import grain_parallel, sequential_cycles
+    from repro.machine import Machine, MachineConfig
+    from repro.runtime import Runtime
+    from repro.trace import Tracer
+
+    m = Machine(MachineConfig(n_nodes=16))
+    tracer = Tracer(m, kinds={"packet", "handler"})
+    rt = Runtime(m, scheduler="hybrid")
+    result, cycles = rt.run_to_completion(
+        0, lambda rt, nd: grain_parallel(rt, nd, 9, 100)
+    )
+    seq = sequential_cycles(9, 100)
+    att, won = rt.total_steals()
+    out = [
+        "demo: grain(n=9, l=100) on 16 nodes, hybrid scheduler",
+        f"  result={result}  cycles={cycles:,}  speedup={seq / cycles:.1f}  "
+        f"steals={won}/{att}",
+        "",
+        collect(m).format(),
+        "",
+        tracer.summarize(),
+    ]
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="alewife-repro",
+        description="Reproduce the tables and figures of the PPoPP'93 "
+        "Alewife message-passing/shared-memory integration paper.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="list the available experiments")
+    sub.add_parser(
+        "demo",
+        help="run a small instrumented fork/join workload and print the "
+        "machine report and a trace summary",
+    )
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", choices=[*ALL_EXPERIMENTS, "all"])
+    runp.add_argument("--quick", action="store_true", help="CI-sized parameters")
+    runp.add_argument("--nodes", type=int, default=None, help="override machine size")
+    runp.add_argument("--plot", action="store_true", help="render an ASCII figure too")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__module__ or "").rsplit(".", 1)[-1]
+            print(f"{exp_id:<8} {doc}")
+        return 0
+
+    if args.cmd == "demo":
+        print(run_demo())
+        return 0
+
+    targets = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        t0 = time.time()
+        print(run_experiment(exp_id, quick=args.quick, nodes=args.nodes, plot=args.plot))
+        print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""CMMU: the integrated network interface (describe/launch send,
+receive window, DMA bulk transfer, message interrupts)."""
+
+from repro.cmmu.interface import Cmmu, CmmuStats
+from repro.cmmu.message import (
+    MAX_DESCRIPTOR_WORDS,
+    BlockRef,
+    Message,
+    descriptor_words,
+    validate_descriptor,
+)
+
+__all__ = [
+    "BlockRef",
+    "Cmmu",
+    "CmmuStats",
+    "MAX_DESCRIPTOR_WORDS",
+    "Message",
+    "descriptor_words",
+    "validate_descriptor",
+]

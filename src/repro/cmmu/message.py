@@ -1,0 +1,76 @@
+"""Software-visible message format.
+
+Mirrors the paper's packet descriptor (Fig. 5): a message carries a
+small number of explicit *operands* (the first conceptually naming the
+destination and message type) plus zero or more blocks of memory data
+gathered by DMA at the source. Block data travels as a value
+*snapshot* captured at launch, matching hardware where the source
+memory is read while the packet streams out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_ids = itertools.count()
+
+#: Maximum descriptor length in words (paper: "up to 16 words long").
+MAX_DESCRIPTOR_WORDS = 16
+
+
+@dataclass
+class BlockRef:
+    """An address-length pair in a descriptor."""
+
+    addr: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"block length must be positive, got {self.nbytes}")
+        if self.addr < 0:
+            raise ValueError(f"negative block address {self.addr:#x}")
+
+
+@dataclass
+class Message:
+    """A received (or in-flight) software message."""
+
+    src: int
+    dst: int
+    mtype: str
+    operands: tuple[Any, ...] = ()
+    #: total DMA payload in bytes (0 for processor-to-processor messages)
+    data_bytes: int = 0
+    #: (offset, value) pairs over the concatenated block data
+    data_snapshot: list[tuple[int, Any]] = field(default_factory=list)
+    mid: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def data_words(self) -> int:
+        return (self.data_bytes + 3) // 4
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message#{self.mid} {self.mtype!r} {self.src}->{self.dst} "
+            f"ops={len(self.operands)} data={self.data_bytes}B>"
+        )
+
+
+def descriptor_words(n_operands: int, n_blocks: int, header_words: int = 2) -> int:
+    """Descriptor length in words (operands + address/length pairs)."""
+    return header_words + n_operands + 2 * n_blocks
+
+
+def validate_descriptor(
+    operands: tuple[Any, ...], blocks: list[BlockRef], header_words: int = 2
+) -> None:
+    """Enforce the 16-word descriptor limit of the real CMMU."""
+    words = descriptor_words(len(operands), len(blocks), header_words)
+    if words > MAX_DESCRIPTOR_WORDS:
+        raise ValueError(
+            f"descriptor needs {words} words; the CMMU interface allows "
+            f"{MAX_DESCRIPTOR_WORDS} (operands={len(operands)}, blocks={len(blocks)})"
+        )

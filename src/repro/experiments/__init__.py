@@ -1,0 +1,43 @@
+"""Experiment drivers: one module per paper table/figure.
+
+| id      | paper result                                   |
+|---------|------------------------------------------------|
+| barrier | §4.2 barrier cycle counts                      |
+| rti     | §4.3 Tinvoker/Tinvokee                         |
+| fig7    | memory-to-memory copy vs block size            |
+| fig8    | accum vs block size                            |
+| fig9    | grain speedup vs delay l                       |
+| fig10   | aq speedup vs problem size                     |
+| fig11   | jacobi cycles/iteration vs grid size           |
+"""
+
+from repro.experiments import (
+    barrier_exp,
+    fig7_memcpy,
+    fig8_accum,
+    fig9_grain,
+    fig10_aq,
+    fig11_jacobi,
+    rti_exp,
+)
+
+ALL_EXPERIMENTS = {
+    "barrier": barrier_exp.run,
+    "rti": rti_exp.run,
+    "fig7": fig7_memcpy.run,
+    "fig8": fig8_accum.run,
+    "fig9": fig9_grain.run,
+    "fig10": fig10_aq.run,
+    "fig11": fig11_jacobi.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "barrier_exp",
+    "fig7_memcpy",
+    "fig8_accum",
+    "fig9_grain",
+    "fig10_aq",
+    "fig11_jacobi",
+    "rti_exp",
+]

@@ -1,0 +1,37 @@
+"""Shared helpers for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.sim.engine import SimulationError
+
+
+def make_machine(n_nodes: int = 64, **cfg_kw: Any) -> Machine:
+    return Machine(MachineConfig(n_nodes=n_nodes, **cfg_kw))
+
+
+def run_thread_timed(machine: Machine, gen: Generator) -> tuple[Any, int]:
+    """Run one thread on node 0 to completion; returns (result, cycles)."""
+    box: dict[str, Any] = {}
+
+    def fin(v: Any) -> None:
+        box["result"] = v
+        box["cycles"] = machine.sim.now
+
+    t0 = machine.sim.now
+    machine.processor(0).run_thread(gen, on_finish=fin)
+    machine.run()
+    if "cycles" not in box:
+        raise SimulationError("measured thread never finished")
+    return box["result"], box["cycles"] - t0
+
+
+def geometric_sizes(lo: int, hi: int, factor: int = 2) -> list[int]:
+    out, v = [], lo
+    while v <= hi:
+        out.append(v)
+        v *= factor
+    return out

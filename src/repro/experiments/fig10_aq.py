@@ -1,0 +1,65 @@
+"""Fig. 10: ``aq`` (adaptive quadrature) speedup on 64 processors vs
+problem size (sequential running time), hybrid vs SM scheduler.
+
+Paper shape: hybrid ≈2x faster at small problem sizes, still >20%
+faster at the largest shown (~800 ms sequential).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.metrics import cycles_to_msec
+from repro.analysis.tables import ExperimentResult
+from repro.apps.aq import aq_parallel, default_integrand, sequential_cycles
+from repro.experiments.common import make_machine
+from repro.runtime.rt import Runtime
+
+#: tolerance sweep — tighter tolerance => bigger recursion tree =>
+#: larger sequential running time (the paper's problem-size axis)
+DEFAULT_TOLS = (3e-3, 1e-3, 3e-4, 1e-4, 3e-5)
+DOMAIN = (0.0, 0.0, 1.0, 1.0)
+
+
+def measure_aq(kind: str, tol: float, n_nodes: int = 64, seed: int = 0):
+    m = make_machine(n_nodes)
+    rt = Runtime(m, scheduler=kind, seed=seed)
+    x0, y0, x1, y1 = DOMAIN
+    result, cycles = rt.run_to_completion(
+        0,
+        lambda rt, nd: aq_parallel(rt, nd, default_integrand, x0, y0, x1, y1, tol),
+    )
+    return result, cycles
+
+
+def run(tols: Sequence[float] = DEFAULT_TOLS, n_nodes: int = 64) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="fig10",
+        title=f"Fig. 10: aq speedup vs problem size, {n_nodes} processors",
+        columns=[
+            "tol",
+            "seq_msec",
+            "speedup_hybrid",
+            "speedup_sm",
+            "hybrid_over_sm",
+        ],
+        notes="paper: hybrid ~2x at small sizes, >20% at ~800 ms",
+    )
+    x0, y0, x1, y1 = DOMAIN
+    for tol in tols:
+        seq = sequential_cycles(default_integrand, x0, y0, x1, y1, tol)
+        s = {}
+        vals = {}
+        for kind in ("hybrid", "sm"):
+            value, cycles = measure_aq(kind, tol, n_nodes)
+            s[kind] = seq / cycles
+            vals[kind] = value
+        assert abs(vals["hybrid"] - vals["sm"]) < 1e-9, "schedulers disagree on the integral"
+        res.add(
+            tol=tol,
+            seq_msec=round(cycles_to_msec(seq), 1),
+            speedup_hybrid=round(s["hybrid"], 1),
+            speedup_sm=round(s["sm"], 1),
+            hybrid_over_sm=round(s["hybrid"] / s["sm"], 2),
+        )
+    return res

@@ -1,0 +1,53 @@
+"""Fig. 11: Jacobi SOR cycles/iteration on 64 processors, SM vs MP
+border exchange, grid sizes 32x32 / 64x64 / 128x128.
+
+Paper shape: shared-memory slightly faster at small grids (little
+data per edge; Fig. 7 says SM copies small blocks cheaper), message
+passing slightly faster at large grids, with the gap damped by the
+growing computation-to-communication ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.tables import ExperimentResult
+from repro.apps.jacobi import JacobiApp, initial_grid, reference_jacobi
+from repro.experiments.common import make_machine
+
+DEFAULT_GRIDS = (32, 64, 128)
+
+
+def measure_jacobi(
+    mode: str, grid_size: int, n_nodes: int = 64, iters: int = 6, validate: bool = True
+) -> float:
+    m = make_machine(n_nodes)
+    app = JacobiApp(m, grid_size=grid_size, iters=iters, mode=mode)
+    grid, cycles = app.run()
+    if validate:
+        ref = reference_jacobi(initial_grid(grid_size), iters)
+        np.testing.assert_allclose(grid, ref, rtol=1e-12, atol=1e-12)
+    return app.cycles_per_iteration(cycles)
+
+
+def run(
+    grid_sizes: Sequence[int] = DEFAULT_GRIDS, n_nodes: int = 64, iters: int = 6
+) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="fig11",
+        title=f"Fig. 11: Jacobi SOR cycles/iteration, {n_nodes} processors",
+        columns=["grid", "cycles_per_iter_sm", "cycles_per_iter_mp", "mp_over_sm"],
+        notes="paper: SM wins small grids, MP wins large, both by small margins",
+    )
+    for g in grid_sizes:
+        sm = measure_jacobi("sm", g, n_nodes, iters)
+        mp = measure_jacobi("mp", g, n_nodes, iters)
+        res.add(
+            grid=f"{g}x{g}",
+            cycles_per_iter_sm=round(sm),
+            cycles_per_iter_mp=round(mp),
+            mp_over_sm=round(mp / sm, 2),
+        )
+    return res

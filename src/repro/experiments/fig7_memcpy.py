@@ -1,0 +1,90 @@
+"""Fig. 7: memory-to-memory copy, three implementations vs block size.
+
+Paper anchors: at 256 B the rates are 17.3 / 11.7 / 7.3 MB/s for
+message-passing / no-prefetching / prefetching; at 4 KB they are
+55.4 / 16.4 / 8.6 MB/s.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.metrics import mbytes_per_sec
+from repro.analysis.tables import ExperimentResult
+from repro.experiments.common import make_machine, run_thread_timed
+from repro.proc.effects import Load
+from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
+
+DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+PAPER_MBS = {
+    ("no-prefetching", 256): 11.7,
+    ("prefetching", 256): 7.3,
+    ("message-passing", 256): 17.3,
+    ("no-prefetching", 4096): 16.4,
+    ("prefetching", 4096): 8.6,
+    ("message-passing", 4096): 55.4,
+}
+
+
+def _measure_sm(copier, nbytes: int) -> int:
+    """Time the copy loop with a warm source (cold destination)."""
+    m = make_machine(4)
+    src = m.alloc(0, nbytes)
+    dst = m.alloc(1, nbytes)
+    for i in range(nbytes // 8):
+        m.store.write(src + i * 8, i)
+
+    def bench():
+        for i in range(nbytes // 8):  # warm the source into the cache
+            yield Load(src + i * 8)
+        t0 = m.sim.now
+        yield from copier(src, dst, nbytes)
+        return m.sim.now - t0
+
+    cycles, _total = run_thread_timed(m, bench())
+    return cycles
+
+
+def _measure_mp(nbytes: int) -> int:
+    """Time the bulk-transfer primitive until the data is at the
+    destination and the sender has the completion ack."""
+    m = make_machine(4)
+    bulk = BulkTransfer(m)
+    src = m.alloc(0, nbytes)
+    dst = m.alloc(1, nbytes)
+    for i in range(nbytes // 8):
+        m.store.write(src + i * 8, i)
+
+    def bench():
+        t0 = m.sim.now
+        yield from bulk.send(1, src, dst, nbytes, wait_ack=True)
+        return m.sim.now - t0
+
+    cycles, _total = run_thread_timed(m, bench())
+    return cycles
+
+
+def run(block_sizes: Sequence[int] = DEFAULT_SIZES) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="fig7",
+        title="Fig. 7: memory-to-memory copy performance",
+        columns=["block_bytes", "implementation", "cycles", "MB_per_s", "paper_MB_per_s"],
+        notes="push copy to an adjacent node; paper anchors at 256 B and 4 KB",
+    )
+    impls = (
+        ("no-prefetching", lambda n: _measure_sm(copy_no_prefetch, n)),
+        ("prefetching", lambda n: _measure_sm(copy_prefetch, n)),
+        ("message-passing", _measure_mp),
+    )
+    for nbytes in block_sizes:
+        for name, fn in impls:
+            cycles = fn(nbytes)
+            res.add(
+                block_bytes=nbytes,
+                implementation=name,
+                cycles=cycles,
+                MB_per_s=round(mbytes_per_sec(nbytes, cycles), 1),
+                paper_MB_per_s=PAPER_MBS.get((name, nbytes), "-"),
+            )
+    return res

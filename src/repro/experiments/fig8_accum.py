@@ -1,0 +1,83 @@
+"""Fig. 8: ``accum`` — sum a remote array, SM (prefetched loads) vs MP
+(bulk transfer + local sum).
+
+Paper shape: the message-passing version is ~2x slower at small
+blocks, narrowing to ~1.3x at large blocks; subtracting the Fig. 7
+transfer time leaves a curve riding just below the shared-memory one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import ExperimentResult
+from repro.apps.accum import (
+    AccumFetchService,
+    accum_message_passing,
+    accum_shared_memory,
+    fill_array,
+)
+from repro.experiments.common import make_machine, run_thread_timed
+from repro.runtime.bulk import BulkTransfer
+
+DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _measure_sm(nbytes: int) -> tuple[int, int]:
+    m = make_machine(4)
+    n_elems = nbytes // 8
+    arr = m.alloc(1, nbytes)
+    values = fill_array(m, arr, n_elems)
+
+    def bench():
+        t0 = m.sim.now
+        total = yield from accum_shared_memory(arr, n_elems)
+        return (total, m.sim.now - t0)
+
+    (total, cycles), _t = run_thread_timed(m, bench())
+    assert total == sum(values), "accum SM produced a wrong sum"
+    return cycles, total
+
+
+def _measure_mp(nbytes: int) -> tuple[int, int]:
+    m = make_machine(4)
+    n_elems = nbytes // 8
+    bulk = BulkTransfer(m)
+    AccumFetchService(m, bulk)
+    arr = m.alloc(1, nbytes)
+    buf = m.alloc(0, nbytes)
+    values = fill_array(m, arr, n_elems)
+
+    def bench():
+        t0 = m.sim.now
+        total = yield from accum_message_passing(bulk, 1, arr, buf, n_elems)
+        return (total, m.sim.now - t0)
+
+    (total, cycles), _t = run_thread_timed(m, bench())
+    assert total == sum(values), "accum MP produced a wrong sum"
+    return cycles, total
+
+
+def run(block_sizes: Sequence[int] = DEFAULT_SIZES) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="fig8",
+        title="Fig. 8: accum (sum of a remote array)",
+        columns=["block_bytes", "implementation", "cycles", "mp_over_sm"],
+        notes="paper: MP ~2x slower small blocks -> ~1.3x slower large blocks",
+    )
+    for nbytes in block_sizes:
+        sm_cycles, _ = _measure_sm(nbytes)
+        mp_cycles, _ = _measure_mp(nbytes)
+        res.add(
+            block_bytes=nbytes,
+            implementation="shared-memory",
+            cycles=sm_cycles,
+            mp_over_sm="-",
+        )
+        res.add(
+            block_bytes=nbytes,
+            implementation="message-passing",
+            cycles=mp_cycles,
+            mp_over_sm=round(mp_cycles / sm_cycles, 2),
+        )
+    return res

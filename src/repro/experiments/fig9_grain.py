@@ -1,0 +1,69 @@
+"""Fig. 9: ``grain`` speedup on 64 processors, hybrid vs SM scheduler.
+
+Paper (n=12, 64 processors): at l=0 speedups are 12.0 (hybrid) vs 6.3
+(SM-only); at l=1000 they are 48.6 vs 36.4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.metrics import cycles_to_msec
+from repro.analysis.tables import ExperimentResult
+from repro.apps.grain import grain_parallel, sequential_cycles
+from repro.experiments.common import make_machine
+from repro.runtime.rt import Runtime
+
+DEFAULT_DELAYS = (0, 100, 200, 400, 600, 800, 1000)
+
+PAPER_SPEEDUP = {
+    ("hybrid", 0): 12.0,
+    ("sm", 0): 6.3,
+    ("hybrid", 1000): 48.6,
+    ("sm", 1000): 36.4,
+}
+
+
+def measure_grain(kind: str, delay: int, depth: int = 12, n_nodes: int = 64, seed: int = 0):
+    m = make_machine(n_nodes)
+    rt = Runtime(m, scheduler=kind, seed=seed)
+    result, cycles = rt.run_to_completion(
+        0, lambda rt, nd: grain_parallel(rt, nd, depth, delay)
+    )
+    assert result == 1 << depth, "grain leaf count wrong"
+    return cycles
+
+
+def run(
+    delays: Sequence[int] = DEFAULT_DELAYS, depth: int = 12, n_nodes: int = 64
+) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="fig9",
+        title=f"Fig. 9: grain speedup, n={depth}, {n_nodes} processors",
+        columns=[
+            "delay_l",
+            "seq_msec",
+            "speedup_hybrid",
+            "speedup_sm",
+            "hybrid_over_sm",
+            "paper_hybrid",
+            "paper_sm",
+        ],
+        notes="speedup vs single-node sequential run (no scheduler overhead)",
+    )
+    for delay in delays:
+        seq = sequential_cycles(depth, delay)
+        s = {}
+        for kind in ("hybrid", "sm"):
+            cycles = measure_grain(kind, delay, depth, n_nodes)
+            s[kind] = seq / cycles
+        res.add(
+            delay_l=delay,
+            seq_msec=round(cycles_to_msec(seq), 1),
+            speedup_hybrid=round(s["hybrid"], 1),
+            speedup_sm=round(s["sm"], 1),
+            hybrid_over_sm=round(s["hybrid"] / s["sm"], 2),
+            paper_hybrid=PAPER_SPEEDUP.get(("hybrid", delay), "-"),
+            paper_sm=PAPER_SPEEDUP.get(("sm", delay), "-"),
+        )
+    return res

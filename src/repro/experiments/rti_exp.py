@@ -1,0 +1,82 @@
+"""§4.3 remote thread invocation: Tinvoker / Tinvokee.
+
+Paper (measured inside the complete scheduling system):
+  shared-memory: Tinvoker=353, Tinvokee=805 cycles (10.7 / 24.4 µs)
+  message-based: Tinvoker=17,  Tinvokee=244 cycles (0.5 / 7.4 µs)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import cycles_to_usec
+from repro.analysis.tables import ExperimentResult
+from repro.experiments.common import make_machine
+from repro.proc.effects import Compute
+from repro.runtime.rt import Runtime
+
+PAPER = {
+    "sm": {"invoker": 353, "invokee": 805},
+    "hybrid": {"invoker": 17, "invokee": 244},
+}
+
+
+def measure_rti(kind: str, n_nodes: int = 64, trials: int = 8) -> tuple[float, float]:
+    """Mean Tinvoker/Tinvokee over ``trials`` invocations at staggered
+    phases (the invokee's poll loop makes single-shot numbers noisy)."""
+    t_invoker: list[int] = []
+    t_invokee: list[int] = []
+
+    m = make_machine(n_nodes)
+    rt = Runtime(m, scheduler=kind)
+
+    def body(rt, node, t0):
+        t_invokee.append(m.sim.now - t0)
+        yield Compute(50)
+        return 1
+
+    def invoker(rt, node):
+        yield Compute(3000)  # let idle loops reach steady state
+        for trial in range(trials):
+            t0 = m.sim.now
+            fut = yield from rt.spawn_to(
+                1, lambda rt, nd, t0=t0: body(rt, nd, t0), label="rti"
+            )
+            t_invoker.append(m.sim.now - t0)
+            yield from rt.join(node, fut)
+            # stagger phases relative to the invokee's poll loop
+            yield Compute(613 + 97 * trial)
+        return True
+
+    rt.run_to_completion(0, invoker)
+    return (
+        sum(t_invoker) / len(t_invoker),
+        sum(t_invokee) / len(t_invokee),
+    )
+
+
+def run(n_nodes: int = 64, trials: int = 8) -> ExperimentResult:
+    res = ExperimentResult(
+        exp_id="rti",
+        title=f"§4.3 remote thread invocation, {n_nodes} processors",
+        columns=[
+            "implementation",
+            "Tinvoker",
+            "Tinvokee",
+            "Tinvoker_usec",
+            "Tinvokee_usec",
+            "paper_Tinvoker",
+            "paper_Tinvokee",
+        ],
+        notes="mean over staggered trials inside the full scheduler",
+    )
+    for kind, label in (("sm", "shared-memory"), ("hybrid", "message-based")):
+        invoker, invokee = measure_rti(kind, n_nodes, trials)
+        res.add(
+            implementation=label,
+            Tinvoker=round(invoker),
+            Tinvokee=round(invokee),
+            Tinvoker_usec=round(cycles_to_usec(invoker), 1),
+            Tinvokee_usec=round(cycles_to_usec(invokee), 1),
+            paper_Tinvoker=PAPER[kind]["invoker"],
+            paper_Tinvokee=PAPER[kind]["invokee"],
+        )
+    return res

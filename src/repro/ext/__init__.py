@@ -1,0 +1,7 @@
+"""Extensions from the paper's §6 future-work agenda: language-level
+integration of the two communication mechanisms."""
+
+from repro.ext.channels import Channel
+from repro.ext.objects import ObjectSpace, SharedObject
+
+__all__ = ["Channel", "ObjectSpace", "SharedObject"]

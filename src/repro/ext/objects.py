@@ -1,0 +1,212 @@
+"""A shared-object space over the integrated interface.
+
+Paper §6: "a shared-object space with messages is the basis for
+implementing a parallel object-oriented language. In this sense
+shared-memory and message-passing might be integrated at the language
+level." This module sketches that integration:
+
+a :class:`SharedObject` lives on a home node and offers two access
+policies per method call —
+
+* ``"data"``  — *move the data to the computation*: the caller reads
+  the object's fields through coherent shared memory, computes
+  locally, and writes back any updates. Cheap when the object is
+  read-mostly (fields stay cached at readers).
+* ``"compute"`` — *move the computation to the data*: the caller
+  sends one message; the home node's handler runs the method against
+  its locally-cached fields and replies with the result. Cheap when
+  the object is write-hot (no ownership ping-pong).
+
+The crossover between the two policies is exactly the paper's
+shared-memory-vs-messages trade-off, surfaced as an object-model
+choice; ``examples/shared_objects.py`` and the object-space bench
+measure it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator
+
+from repro.machine.machine import Machine
+from repro.proc.effects import Compute, Load, Send, Store, Suspend
+from repro.runtime.sync import SpinLock
+
+MSG_OBJ_INVOKE = "obj.invoke"
+MSG_OBJ_REPLY = "obj.reply"
+
+_obj_ids = itertools.count()
+_call_ids = itertools.count()
+
+#: a method: (fields_dict) -> (result, updates_dict). Methods run
+#: against plain Python values; the object layer performs the
+#: simulated memory traffic.
+Method = Callable[[dict], tuple[Any, dict]]
+
+
+class ObjectSpace:
+    """Registry + message plumbing for shared objects on one machine."""
+
+    def __init__(self, machine: Machine, handler_cost: int = 12) -> None:
+        self.machine = machine
+        self.handler_cost = handler_cost
+        self.objects: dict[int, SharedObject] = {}
+        self._pending: dict[int, Any] = {}
+        for node in range(machine.n_nodes):
+            proc = machine.processor(node)
+            proc.register_handler(MSG_OBJ_INVOKE, self._handle_invoke)
+            proc.register_handler(MSG_OBJ_REPLY, self._handle_reply)
+
+    def create(
+        self,
+        home: int,
+        fields: dict[str, Any],
+        methods: dict[str, Method],
+        read_only: set[str] | None = None,
+    ) -> "SharedObject":
+        """``read_only`` names methods that never update fields; under
+        the "data" policy they read via a lockless seqlock instead of
+        taking the object lock (cached reads stay cheap)."""
+        obj = SharedObject(self, home, fields, methods, read_only or set())
+        self.objects[obj.oid] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    def _handle_invoke(self, msg) -> Generator:
+        oid, call_id, method, args = msg.operands
+        obj = self.objects[oid]
+        caller = msg.src
+        yield Compute(self.handler_cost)
+        # The home runs the method against its own fields: loads/stores
+        # are local (and usually cache hits — that is the point). A
+        # handler must never *spin* on the object lock though: the
+        # holder might be a local thread this very interrupt preempted.
+        # Try once; on contention, defer to a thread.
+        got = yield from obj.lock.try_acquire()
+        if got:
+            result = yield from obj._method_body(method, args)
+            yield from obj.lock.release()
+            yield Send(caller, MSG_OBJ_REPLY, operands=(call_id, result))
+            return
+
+        def deferred() -> Generator:
+            result = yield from obj._invoke_data(method, args)
+            yield Send(caller, MSG_OBJ_REPLY, operands=(call_id, result))
+
+        self.machine.processor(obj.home).run_thread(
+            deferred(), label=f"obj{oid}.{method}"
+        )
+
+    def _handle_reply(self, msg) -> Generator:
+        call_id, result = msg.operands
+        yield Compute(2)
+        box = self._pending.pop(call_id)
+        box["result"] = result
+        resume = box.get("resume")
+        if resume is not None:
+            resume(result)
+
+
+class SharedObject:
+    """An object with fields in its home node's shared memory."""
+
+    def __init__(
+        self, space: ObjectSpace, home: int, fields: dict[str, Any],
+        methods: dict[str, Method], read_only: set[str] | None = None,
+    ) -> None:
+        self.space = space
+        self.machine = space.machine
+        self.home = home
+        self.oid = next(_obj_ids)
+        self.methods = methods
+        self.read_only = read_only or set()
+        unknown = self.read_only - set(methods)
+        if unknown:
+            raise KeyError(f"read_only names unknown methods: {sorted(unknown)}")
+        self.field_names = list(fields)
+        self.lock = SpinLock(self.machine.alloc(home, 8))
+        #: seqlock word: odd while a writer is mid-update
+        self.version_addr = self.machine.alloc(home, 8)
+        self.addrs = {name: self.machine.alloc(home, 8) for name in fields}
+        for name, value in fields.items():
+            self.machine.store.write(self.addrs[name], value)
+
+    # ------------------------------------------------------------------
+    def invoke(self, caller: int, method: str, args: tuple = (), policy: str = "data") -> Generator:
+        """``result = yield from obj.invoke(node, "method", args, policy)``"""
+        if method not in self.methods:
+            raise KeyError(f"object #{self.oid} has no method {method!r}")
+        if policy == "data":
+            return (yield from self._invoke_data(method, args))
+        if policy == "compute":
+            return (yield from self._invoke_compute(caller, method, args))
+        raise ValueError(f"policy must be 'data' or 'compute', got {policy!r}")
+
+    # -- move-the-data: coherent loads/stores from the caller ----------
+    def _invoke_data(self, method: str, args: tuple) -> Generator:
+        if method in self.read_only:
+            return (yield from self._seqlock_read(method, args))
+        yield from self.lock.acquire()
+        result = yield from self._method_body(method, args)
+        yield from self.lock.release()
+        return result
+
+    def _seqlock_read(self, method: str, args: tuple) -> Generator:
+        """Lockless consistent read: sample the version word, read the
+        fields, re-check the version; retry if a writer interleaved.
+        Read-mostly sharing then costs only cache hits at every reader
+        — the shared-memory hardware's strength (paper §2)."""
+        while True:
+            v1 = yield Load(self.version_addr)
+            if v1 & 1:  # writer mid-update
+                yield Compute(10)
+                continue
+            fields = {}
+            for name in self.field_names:
+                fields[name] = yield Load(self.addrs[name])
+            v2 = yield Load(self.version_addr)
+            if v1 == v2:
+                result, updates = self.methods[method](fields, *args)
+                if updates:
+                    raise KeyError(
+                        f"read_only method {method!r} attempted field updates"
+                    )
+                yield Compute(8)
+                return result
+            yield Compute(10)  # torn read; retry
+
+    def _method_body(self, method: str, args: tuple) -> Generator:
+        """Field reads + method arithmetic + field writebacks.
+        Assumes the object lock is held by the caller."""
+        fields = {}
+        for name in self.field_names:
+            fields[name] = yield Load(self.addrs[name])
+        result, updates = self.methods[method](fields, *args)
+        yield Compute(8)  # the method body's local arithmetic
+        if updates:
+            ver = yield Load(self.version_addr)
+            yield Store(self.version_addr, ver + 1)  # odd: update in flight
+            for name, value in updates.items():
+                if name not in self.addrs:
+                    raise KeyError(f"method {method!r} updated unknown field {name!r}")
+                yield Store(self.addrs[name], value)
+            yield Store(self.version_addr, ver + 2)  # even: stable again
+        return result
+
+    # -- move-the-computation: one message each way ---------------------
+    def _invoke_compute(self, caller: int, method: str, args: tuple) -> Generator:
+        if caller == self.home:
+            return (yield from self._invoke_data(method, args))
+        call_id = next(_call_ids)
+        box: dict[str, Any] = {}
+        self.space._pending[call_id] = box
+        yield Send(self.home, MSG_OBJ_INVOKE, operands=(self.oid, call_id, method, tuple(args)))
+        if "result" not in box:
+            result = yield Suspend(lambda resume: box.__setitem__("resume", resume))
+            return result
+        return box["result"]
+
+    # ------------------------------------------------------------------
+    def read_field(self, name: str) -> Any:
+        """Debug/test access to the authoritative value."""
+        return self.machine.store.read(self.addrs[name])

@@ -1,0 +1,18 @@
+"""Machine assembly and configuration."""
+
+from repro.machine.config import (
+    CmmuParams,
+    MachineConfig,
+    NetworkParams,
+    ProcessorParams,
+)
+from repro.machine.machine import Machine, Node
+
+__all__ = [
+    "CmmuParams",
+    "Machine",
+    "MachineConfig",
+    "NetworkParams",
+    "Node",
+    "ProcessorParams",
+]

@@ -1,0 +1,15 @@
+"""Re-export of the configuration dataclasses.
+
+The canonical definitions live in :mod:`repro.params` (a leaf module)
+so that the CMMU and processor packages can import their parameter
+types without creating an import cycle through ``repro.machine``.
+"""
+
+from repro.params import (
+    CmmuParams,
+    MachineConfig,
+    NetworkParams,
+    ProcessorParams,
+)
+
+__all__ = ["CmmuParams", "MachineConfig", "NetworkParams", "ProcessorParams"]

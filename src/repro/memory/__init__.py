@@ -1,0 +1,38 @@
+"""Memory system: global addresses, backing store, caches, LimitLESS
+directory, and the coherence transaction engine."""
+
+from repro.memory.address import (
+    DOUBLEWORD,
+    LINE_SIZE,
+    WORD,
+    home_of,
+    line_of,
+    line_range,
+    make_addr,
+    offset_of,
+)
+from repro.memory.cache import Cache, CacheStats, LineState
+from repro.memory.coherence import AccessKind, CoherenceEngine, CoherenceParams
+from repro.memory.directory import Directory, DirEntry, DirState
+from repro.memory.store import BackingStore
+
+__all__ = [
+    "AccessKind",
+    "BackingStore",
+    "Cache",
+    "CacheStats",
+    "CoherenceEngine",
+    "CoherenceParams",
+    "DOUBLEWORD",
+    "DirEntry",
+    "DirState",
+    "Directory",
+    "LINE_SIZE",
+    "LineState",
+    "WORD",
+    "home_of",
+    "line_of",
+    "line_range",
+    "make_addr",
+    "offset_of",
+]

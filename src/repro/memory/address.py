@@ -1,0 +1,60 @@
+"""Global (shared) address space.
+
+Alewife distributes physical memory across the nodes; a global address
+names ``(home node, offset)``. We encode the home node in the high
+bits of a plain ``int`` so addresses stay cheap to pass around:
+
+    address = (node << NODE_SHIFT) | offset
+
+The *home* of an address is the node whose memory backs it and whose
+directory tracks cached copies. This module is pure address
+arithmetic; no timing.
+"""
+
+from __future__ import annotations
+
+#: Bits of per-node offset (4 GiB per node — effectively unbounded
+#: for our workloads).
+NODE_SHIFT = 32
+OFFSET_MASK = (1 << NODE_SHIFT) - 1
+
+#: Cache line size in bytes (paper: prefetching operates on 16-byte
+#: cache blocks).
+LINE_SIZE = 16
+
+#: Doubleword size; the paper's copy loops use 8-byte loads/stores.
+DOUBLEWORD = 8
+WORD = 4
+
+
+def make_addr(node: int, offset: int) -> int:
+    """Build the global address for ``offset`` within ``node``'s memory."""
+    if node < 0:
+        raise ValueError(f"negative node {node}")
+    if not (0 <= offset <= OFFSET_MASK):
+        raise ValueError(f"offset {offset:#x} outside 32-bit range")
+    return (node << NODE_SHIFT) | offset
+
+
+def home_of(addr: int) -> int:
+    """Node whose local memory backs ``addr``."""
+    return addr >> NODE_SHIFT
+
+
+def offset_of(addr: int) -> int:
+    """Offset of ``addr`` within its home node's memory."""
+    return addr & OFFSET_MASK
+
+
+def line_of(addr: int, line_size: int = LINE_SIZE) -> int:
+    """Align ``addr`` down to its cache-line base address."""
+    return addr & ~(line_size - 1)
+
+
+def line_range(addr: int, nbytes: int, line_size: int = LINE_SIZE) -> range:
+    """Iterate the line base addresses covering ``[addr, addr+nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = line_of(addr, line_size)
+    last = line_of(addr + nbytes - 1, line_size)
+    return range(first, last + line_size, line_size)

@@ -1,0 +1,124 @@
+"""LimitLESS-style cache-coherence directory (one per home node).
+
+Each home node tracks, per cache line, which nodes hold copies. Real
+Alewife keeps a small number of hardware pointers per entry
+(LimitLESS [Chaiken et al., ASPLOS'91]); when more sharers exist the
+CMMU traps to software which maintains the full sharer list. We keep
+the full set in Python and charge a software-extension penalty
+whenever an operation touches an entry whose sharer count exceeds the
+hardware pointer limit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DirState(enum.Enum):
+    UNOWNED = "unowned"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class DirEntry:
+    state: DirState = DirState.UNOWNED
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+    def check(self) -> None:
+        """Internal-consistency assertion, used by tests."""
+        if self.state is DirState.UNOWNED:
+            assert not self.sharers and self.owner is None
+        elif self.state is DirState.SHARED:
+            assert self.sharers and self.owner is None
+        else:
+            assert self.owner is not None and not self.sharers
+
+
+@dataclass
+class DirectoryStats:
+    lookups: int = 0
+    software_traps: int = 0  # LimitLESS pointer-overflow handler entries
+    invalidations_sent: int = 0
+    forwards: int = 0
+
+
+class Directory:
+    """Directory for all lines homed at ``node``."""
+
+    def __init__(self, node: int, hw_pointers: int = 5) -> None:
+        if hw_pointers < 1:
+            raise ValueError(f"need at least one hardware pointer, got {hw_pointers}")
+        self.node = node
+        self.hw_pointers = hw_pointers
+        self._entries: dict[int, DirEntry] = {}
+        self.stats = DirectoryStats()
+
+    def entry(self, line: int) -> DirEntry:
+        self.stats.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = DirEntry()
+            self._entries[line] = e
+        return e
+
+    def peek(self, line: int) -> DirEntry | None:
+        """Entry without creating or counting a lookup (tests/diagnostics)."""
+        return self._entries.get(line)
+
+    # ------------------------------------------------------------------
+    # State transitions. These mutate bookkeeping only; the coherence
+    # engine decides what messages to send and charges the timing.
+    # ------------------------------------------------------------------
+    def overflowed(self, entry: DirEntry) -> bool:
+        """True when the sharer set no longer fits the hardware pointers."""
+        return len(entry.sharers) > self.hw_pointers
+
+    def note_software_trap(self) -> None:
+        self.stats.software_traps += 1
+
+    def add_sharer(self, line: int, node: int) -> bool:
+        """Record a read copy at ``node``; True if this overflows hardware.
+
+        Must not be called while the entry is EXCLUSIVE — the engine
+        resolves exclusivity (writeback) first.
+        """
+        e = self.entry(line)
+        if e.state is DirState.EXCLUSIVE:
+            raise ValueError(f"line {line:#x} is EXCLUSIVE; resolve ownership first")
+        e.sharers.add(node)
+        e.state = DirState.SHARED
+        e.owner = None
+        overflow = self.overflowed(e)
+        if overflow:
+            self.note_software_trap()
+        return overflow
+
+    def set_exclusive(self, line: int, node: int) -> None:
+        e = self.entry(line)
+        e.state = DirState.EXCLUSIVE
+        e.owner = node
+        e.sharers.clear()
+
+    def clear(self, line: int) -> None:
+        """Return the line to UNOWNED (after writeback/invalidation)."""
+        e = self.entry(line)
+        e.state = DirState.UNOWNED
+        e.owner = None
+        e.sharers.clear()
+
+    def drop_sharer(self, line: int, node: int) -> None:
+        e = self.entry(line)
+        e.sharers.discard(node)
+        if not e.sharers and e.state is DirState.SHARED:
+            e.state = DirState.UNOWNED
+
+    def sharers_to_invalidate(self, line: int, excluding: int) -> list[int]:
+        """Sharer list minus ``excluding``, in deterministic order."""
+        e = self.entry(line)
+        return sorted(n for n in e.sharers if n != excluding)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,15 @@
+"""Mesh interconnect model: topology, packets, wormhole timing."""
+
+from repro.network.fabric import Network, NetworkStats
+from repro.network.packet import PROTOCOL_KINDS, Packet, PacketKind
+from repro.network.topology import Coord, Mesh2D
+
+__all__ = [
+    "Coord",
+    "Mesh2D",
+    "Network",
+    "NetworkStats",
+    "PROTOCOL_KINDS",
+    "Packet",
+    "PacketKind",
+]

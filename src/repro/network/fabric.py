@@ -1,0 +1,130 @@
+"""Wormhole-routed mesh network timing model.
+
+A packet's head flit advances one hop per ``hop_latency`` cycles; the
+body streams behind it at the channel bandwidth, so an uncontended
+packet arrives after::
+
+    hops * hop_latency + size_words * cycles_per_word
+
+Contention is modelled per directed link: a link is occupied for the
+time the packet body takes to stream across it, and later packets
+queue behind (FIFO per link). This is the property that makes
+hot-spot effects (e.g. serialization at a combining-tree parent or a
+directory home node) visible to the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.packet import Packet
+from repro.network.topology import Mesh2D
+from repro.sim.engine import Resource, SimulationError, Simulator
+
+DeliverFn = Callable[[Packet], None]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    packets: int = 0
+    words: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    total_latency: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.packets if self.packets else 0.0
+
+
+class Network:
+    """The mesh interconnect: injects packets, delivers to node sinks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mesh: Mesh2D,
+        hop_latency: int = 2,
+        bandwidth_bytes_per_cycle: float = 2.0,
+        local_loopback_latency: int = 2,
+        injection_latency: int = 1,
+    ) -> None:
+        if hop_latency < 0 or local_loopback_latency < 0 or injection_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.mesh = mesh
+        self.hop_latency = hop_latency
+        self.cycles_per_word = 4.0 / bandwidth_bytes_per_cycle
+        self.local_loopback_latency = local_loopback_latency
+        self.injection_latency = injection_latency
+        self._links: dict[tuple[int, int], Resource] = {}
+        self._sinks: dict[int, DeliverFn] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    def attach(self, node: int, sink: DeliverFn) -> None:
+        """Register the packet consumer for ``node`` (its CMMU)."""
+        if node in self._sinks:
+            raise SimulationError(f"node {node} already attached")
+        self._sinks[node] = sink
+
+    def _link(self, a: int, b: int) -> Resource:
+        key = (a, b)
+        res = self._links.get(key)
+        if res is None:
+            res = Resource(self.sim, name=f"link{a}->{b}")
+            self._links[key] = res
+        return res
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> int:
+        """Inject ``packet``; returns the (predicted) delivery cycle.
+
+        Delivery invokes the destination node's sink exactly at the
+        returned cycle.
+        """
+        if packet.dst not in self._sinks:
+            raise SimulationError(f"no sink attached at node {packet.dst}")
+        now = self.sim.now
+        packet.launched_at = now
+        cpw = (
+            packet.cycles_per_word_override
+            if packet.cycles_per_word_override is not None
+            else self.cycles_per_word
+        )
+        if cpw < self.cycles_per_word:
+            cpw = self.cycles_per_word  # links cannot stream faster than wires
+        body_cycles = int(-(-packet.size_words * cpw // 1))
+
+        if packet.src == packet.dst:
+            arrival = now + self.local_loopback_latency + body_cycles
+        else:
+            route = self.mesh.route(packet.src, packet.dst)
+            head = now + self.injection_latency
+            tail = head
+            for a, b in route:
+                link = self._link(a, b)
+                start = max(head + self.hop_latency, link.available_at())
+                link.busy_until = start + body_cycles
+                link.total_busy += body_cycles
+                head = start
+                tail = start + body_cycles
+            arrival = tail
+
+        packet.delivered_at = arrival
+        self.stats.packets += 1
+        self.stats.words += packet.size_words
+        self.stats.by_kind[packet.kind] += 1
+        self.stats.total_latency += arrival - now
+        sink = self._sinks[packet.dst]
+        self.sim.schedule_at(arrival, lambda: sink(packet))
+        return arrival
+
+    def link_utilization(self) -> dict[tuple[int, int], int]:
+        """Total busy cycles per directed link (for diagnostics)."""
+        return {k: r.total_busy for k, r in self._links.items()}

@@ -1,0 +1,35 @@
+"""Processor model: effect ISA and execution engine."""
+
+from repro.proc.effects import (
+    Compute,
+    Effect,
+    Fence,
+    FetchOp,
+    Load,
+    Prefetch,
+    Send,
+    SetIMask,
+    Store,
+    Storeback,
+    Suspend,
+    Yield,
+)
+from repro.proc.processor import Context, Processor, ProcessorStats
+
+__all__ = [
+    "Compute",
+    "Context",
+    "Effect",
+    "Fence",
+    "FetchOp",
+    "Load",
+    "Prefetch",
+    "Processor",
+    "ProcessorStats",
+    "Send",
+    "SetIMask",
+    "Store",
+    "Storeback",
+    "Suspend",
+    "Yield",
+]

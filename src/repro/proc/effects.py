@@ -1,0 +1,129 @@
+"""The effect "ISA" of simulated programs.
+
+Simulated threads and message handlers are Python generators that
+``yield`` effect objects; the :class:`~repro.proc.processor.Processor`
+executes each effect, charges its cycle cost against the simulated
+clock, and resumes the generator with the effect's result::
+
+    def worker(a, b):
+        x = yield Load(a)          # coherent shared-memory read
+        yield Compute(10)          # 10 cycles of local work
+        yield Store(b, x + 1)      # coherent shared-memory write
+        return x
+
+This mirrors the paper's machine interface: loads/stores/prefetches
+are single instructions backed by coherence hardware; Send is the
+CMMU's describe/launch sequence; Storeback drives the receive-side
+DMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cmmu.message import BlockRef
+
+
+@dataclass
+class Compute:
+    """Occupy the processor for ``cycles`` of local work."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"negative compute {self.cycles}")
+
+
+@dataclass
+class Load:
+    """Coherent shared-memory read; resumes with the loaded value."""
+
+    addr: int
+
+
+@dataclass
+class Store:
+    """Coherent shared-memory write of ``value`` to ``addr``."""
+
+    addr: int
+    value: Any
+
+
+@dataclass
+class Prefetch:
+    """Non-binding read-shared prefetch; resumes after the issue cost
+    while the fill proceeds in the background."""
+
+    addr: int
+
+
+@dataclass
+class FetchOp:
+    """Atomic read-modify-write (``new = fn(old)``); resumes with the
+    *old* value. Used for test-and-set locks and fetch-and-increment."""
+
+    addr: int
+    fn: Callable[[Any], Any]
+
+
+@dataclass
+class Send:
+    """Describe and launch a message (paper §3). Blocking only for the
+    describe/launch instruction sequence; delivery is asynchronous."""
+
+    dst: int
+    mtype: str
+    operands: tuple[Any, ...] = ()
+    blocks: list[BlockRef] = field(default_factory=list)
+
+
+@dataclass
+class Storeback:
+    """Receive-side DMA scatter of the *current handler's* message
+    block data to ``dma_addr``. Only legal inside a message handler."""
+
+    dma_addr: int
+
+
+@dataclass
+class SetIMask:
+    """Mask (True) or unmask (False) message interrupts."""
+
+    masked: bool
+
+
+@dataclass
+class Fence:
+    """Drain the store buffer (weak ordering's synchronization point).
+
+    A no-op (1 cycle) when the processor runs sequentially consistent
+    (``store_buffer_depth == 0``, the default) or the buffer is empty.
+    """
+
+
+@dataclass
+class Suspend:
+    """Block the current thread off the processor.
+
+    ``register`` is called once with a ``resume(value)`` callable; some
+    other agent (a future resolution, a reply handler) later invokes it
+    to put the thread back on its processor's ready queue. Resumes with
+    ``value``. Illegal in message handlers (they must run to
+    completion).
+    """
+
+    register: Callable[[Callable[[Any], None]], None]
+
+
+@dataclass
+class Yield:
+    """Politely go to the back of the ready queue (cooperative
+    rescheduling point for long-running loops)."""
+
+
+Effect = (
+    Compute | Load | Store | Prefetch | FetchOp | Send | Storeback | SetIMask
+    | Suspend | Yield | Fence
+)

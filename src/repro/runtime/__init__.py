@@ -1,0 +1,28 @@
+"""The Alewife runtime system: threads, futures, locks, combining-tree
+barriers, bulk transfer, and the SM-only vs hybrid task schedulers."""
+
+from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
+from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
+from repro.runtime.mcs import MCSLock
+from repro.runtime.reduce import MPTreeReduce, SMTreeReduce
+from repro.runtime.rt import Runtime, RuntimeParams
+from repro.runtime.sync import Future, SpinLock, fetch_increment
+from repro.runtime.task import Task, TaskState
+
+__all__ = [
+    "BulkTransfer",
+    "Future",
+    "MCSLock",
+    "MPTreeBarrier",
+    "MPTreeReduce",
+    "Runtime",
+    "RuntimeParams",
+    "SMTreeBarrier",
+    "SMTreeReduce",
+    "SpinLock",
+    "Task",
+    "TaskState",
+    "copy_no_prefetch",
+    "copy_prefetch",
+    "fetch_increment",
+]

@@ -1,0 +1,14 @@
+"""Task schedulers: the §4.5 comparison pair.
+
+* :class:`~repro.runtime.scheduler.shmem.ShmemScheduler` — all queues
+  in shared memory behind spin locks (the original runtime).
+* :class:`~repro.runtime.scheduler.hybrid.HybridScheduler` — owner-only
+  queues with message-based stealing and migration (the integrated
+  runtime).
+"""
+
+from repro.runtime.scheduler.base import NodeScheduler
+from repro.runtime.scheduler.hybrid import HybridScheduler
+from repro.runtime.scheduler.shmem import ShmemScheduler, SMQueue
+
+__all__ = ["HybridScheduler", "NodeScheduler", "SMQueue", "ShmemScheduler"]

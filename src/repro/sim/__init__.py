@@ -1,0 +1,5 @@
+"""Discrete-event simulation core."""
+
+from repro.sim.engine import EventHandle, Resource, SimulationError, Simulator
+
+__all__ = ["EventHandle", "Resource", "SimulationError", "Simulator"]

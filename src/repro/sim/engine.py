@@ -1,0 +1,200 @@
+"""Discrete-event simulation engine.
+
+The engine is the beating heart of the Alewife model: every
+architectural component (network links, directory controllers, DMA
+engines, processors) schedules callbacks on a single global event
+queue keyed by the simulated cycle count.
+
+Events scheduled for the same cycle fire in FIFO order of scheduling,
+which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal inconsistencies inside the simulator."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> int:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """Priority-queue discrete-event simulator with an integer clock.
+
+    The clock unit is one processor cycle (33 MHz in the default
+    Alewife configuration, i.e. ~30.3 ns per cycle).
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self.now: int = 0
+        self._running = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; fractional delays are rounded
+        up (timing models sometimes produce fractions from bandwidth
+        division and the hardware would round to whole cycles).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        when = self.now + int(-(-delay // 1))  # ceil for fractional delays
+        ev = _Event(when, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return EventHandle(ev)
+
+    def schedule_at(self, when: int, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` at absolute cycle ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self.now}"
+            )
+        return self.schedule(when - self.now, fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run a single event. Returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> int:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this cycle (events at exactly
+            ``until`` still run).
+        max_events:
+            Safety valve against runaway simulations.
+        stop_when:
+            Checked after every event; when it returns True the run
+            stops early.
+
+        Returns the simulated time at exit.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed = 0
+        stopped_early = False
+        try:
+            while self._queue:
+                nxt = self._queue[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if stop_when is not None and stop_when():
+                    stopped_early = True
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+        finally:
+            self._running = False
+        if until is not None and not stopped_early:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now} pending={self.pending}>"
+
+
+class Resource:
+    """A serially-reusable resource (memory port, DMA engine, link).
+
+    Models occupancy: each acquisition holds the resource for a given
+    number of cycles; requests that arrive while it is busy queue up
+    FIFO. ``acquire`` returns the cycle at which the requested usage
+    *completes* and immediately reserves the slot.
+    """
+
+    __slots__ = ("sim", "busy_until", "name", "total_busy")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.busy_until: int = 0
+        self.name = name
+        self.total_busy: int = 0  # cycles of occupancy, for utilization stats
+
+    def acquire(self, occupancy: int, earliest: int | None = None) -> int:
+        """Reserve the resource for ``occupancy`` cycles.
+
+        ``earliest`` is the first cycle the work could start (defaults
+        to now). Returns the completion cycle.
+        """
+        if occupancy < 0:
+            raise SimulationError(f"negative occupancy {occupancy!r}")
+        start = max(self.busy_until, self.sim.now if earliest is None else earliest)
+        self.busy_until = start + occupancy
+        self.total_busy += occupancy
+        return self.busy_until
+
+    def available_at(self) -> int:
+        """Cycle at which the resource next becomes free."""
+        return max(self.busy_until, self.sim.now)

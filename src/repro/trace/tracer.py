@@ -1,0 +1,174 @@
+"""Execution tracing.
+
+Attach a :class:`Tracer` to a machine to capture a timestamped event
+stream — effects executed, packets injected, coherence transactions,
+message-handler entries — for post-mortem analysis of an experiment
+(the simulator-side equivalent of Alewife's hardware event probes).
+
+The tracer wraps the relevant methods *of that machine's component
+instances only*; an untraced machine runs exactly the original code.
+
+    tracer = Tracer(machine, kinds={"packet", "handler"})
+    ... run ...
+    print(tracer.summarize())
+    tracer.to_jsonl("run.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+from repro.machine.machine import Machine
+
+ALL_KINDS = frozenset({"effect", "packet", "txn", "handler", "context"})
+
+
+@dataclass
+class TraceEvent:
+    time: int
+    node: int
+    kind: str
+    what: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        d = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:>10}] n{self.node:<3} {self.kind:<8} {self.what}{d}"
+
+
+class Tracer:
+    """Event recorder for one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        kinds: Iterable[str] | None = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        kinds = set(kinds) if kinds is not None else set(ALL_KINDS)
+        unknown = kinds - ALL_KINDS
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        self.machine = machine
+        self.kinds = kinds
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._attach()
+
+    # ------------------------------------------------------------------
+    def record(self, node: int, kind: str, what: str, detail: str = "") -> None:
+        if kind not in self.kinds:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(self.machine.sim.now, node, kind, what, detail)
+        )
+
+    def _attach(self) -> None:
+        m = self.machine
+        if "packet" in self.kinds:
+            orig_send = m.network.send
+
+            def traced_send(packet):
+                self.record(
+                    packet.src, "packet", packet.kind.value,
+                    f"->{packet.dst} {packet.size_words}w",
+                )
+                return orig_send(packet)
+
+            m.network.send = traced_send
+        if "txn" in self.kinds:
+            orig_access = m.coherence.access
+
+            def traced_access(node, addr, kind, on_done):
+                self.record(node, "txn", kind.value, f"@{addr:#x}")
+                return orig_access(node, addr, kind, on_done)
+
+            m.coherence.access = traced_access
+        for node_obj in m.nodes:
+            proc = node_obj.processor
+            if "effect" in self.kinds:
+                def make_traced_execute(proc, orig):
+                    def traced(ctx, eff):
+                        self.record(
+                            proc.node, "effect", type(eff).__name__, ctx.label
+                        )
+                        return orig(ctx, eff)
+
+                    return traced
+
+                proc._execute = make_traced_execute(proc, proc._execute)
+            if "handler" in self.kinds:
+                def make_traced_enter(proc, orig):
+                    def traced():
+                        if proc.cmmu.in_queue:
+                            msg = proc.cmmu.in_queue[0]
+                            self.record(
+                                proc.node, "handler", msg.mtype, f"from n{msg.src}"
+                            )
+                        return orig()
+
+                    return traced
+
+                proc._enter_handler = make_traced_enter(proc, proc._enter_handler)
+            if "context" in self.kinds:
+                def make_traced_run(proc, orig):
+                    def traced(gen, on_finish=None, label="", front=False):
+                        self.record(proc.node, "context", "spawn", label)
+                        return orig(gen, on_finish=on_finish, label=label, front=front)
+
+                    return traced
+
+                proc.run_thread = make_traced_run(proc, proc.run_thread)
+
+    # ------------------------------------------------------------------
+    # Queries and rendering
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        node: int | None = None,
+        kind: str | None = None,
+        since: int = 0,
+        until: int | None = None,
+    ) -> list[TraceEvent]:
+        out = []
+        for ev in self.events:
+            if node is not None and ev.node != node:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if ev.time < since:
+                continue
+            if until is not None and ev.time > until:
+                continue
+            out.append(ev)
+        return out
+
+    def timeline(self, node: int, limit: int = 50) -> str:
+        lines = [str(ev) for ev in self.filter(node=node)[:limit]]
+        return "\n".join(lines) if lines else f"(no events for node {node})"
+
+    def summarize(self) -> str:
+        by_kind = Counter(ev.kind for ev in self.events)
+        by_what = Counter((ev.kind, ev.what) for ev in self.events)
+        lines = [f"trace: {len(self.events)} events"
+                 + (f" (+{self.dropped} dropped)" if self.dropped else "")]
+        for kind, count in by_kind.most_common():
+            lines.append(f"  {kind}: {count}")
+            for (k, what), c in by_what.most_common():
+                if k == kind and c > 1:
+                    lines.append(f"    {what}: {c}")
+        return "\n".join(lines)
+
+    def to_jsonl(self, path: str) -> int:
+        """Write one JSON object per event; returns the event count."""
+        with open(path, "w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(asdict(ev)) + "\n")
+        return len(self.events)

@@ -1,0 +1,116 @@
+"""Tests for metrics, table rendering, and ASCII plots."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    ascii_plot,
+    cycles_to_msec,
+    cycles_to_usec,
+    format_table,
+    mbytes_per_sec,
+    ratio_error,
+    speedup,
+)
+
+
+class TestMetrics:
+    def test_cycles_to_usec_33mhz(self):
+        assert cycles_to_usec(33) == pytest.approx(1.0)
+        assert cycles_to_usec(1650) == pytest.approx(50.0)  # paper's SM barrier
+
+    def test_cycles_to_msec(self):
+        assert cycles_to_msec(33_000) == pytest.approx(1.0)
+
+    def test_mb_per_sec_paper_anchor(self):
+        # paper: 4 KB in ~2440 cycles ≈ 55 MB/s
+        assert mbytes_per_sec(4096, 2440) == pytest.approx(55.4, rel=0.01)
+
+    def test_speedup(self):
+        assert speedup(100, 25) == 4.0
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+    def test_ratio_error_signs(self):
+        assert ratio_error(110, 100) == pytest.approx(0.1)
+        assert ratio_error(90, 100) == pytest.approx(-0.1)
+
+    def test_bad_clock(self):
+        with pytest.raises(ValueError):
+            cycles_to_usec(100, clock_mhz=0)
+
+    def test_bandwidth_rejects_nonpositive_cycles(self):
+        with pytest.raises(ValueError):
+            mbytes_per_sec(100, 0)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            exp_id="t", title="T", columns=["a", "b"], notes="n"
+        )
+
+    def test_add_and_column(self):
+        r = self.make()
+        r.add(a=1, b=2)
+        r.add(a=3, b=4)
+        assert r.column("a") == [1, 3]
+
+    def test_add_missing_column_rejected(self):
+        r = self.make()
+        with pytest.raises(ValueError):
+            r.add(a=1)
+
+    def test_unknown_column_rejected(self):
+        r = self.make()
+        with pytest.raises(KeyError):
+            r.column("zzz")
+
+    def test_format_contains_everything(self):
+        r = self.make()
+        r.add(a=1, b=22222)
+        text = r.format_table()
+        assert "T" in text and "22,222" in text and "(n)" in text
+
+    def test_format_empty_table(self):
+        text = self.make().format_table()
+        assert "a" in text and "b" in text
+
+
+class TestFormatting:
+    def test_alignment(self):
+        text = format_table("x", ["col"], [{"col": 5}, {"col": 123456}])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:]}) <= 2  # header+rows aligned
+
+    def test_float_formats(self):
+        text = format_table("x", ["v"], [{"v": 3.14159}, {"v": 1234.5}, {"v": 55.42}])
+        assert "3.14" in text and "1,234" in text and "55.4" in text
+
+
+class TestAsciiPlot:
+    def test_renders_series(self):
+        out = ascii_plot(
+            {"up": [(1, 1), (2, 2), (3, 3)], "down": [(1, 3), (2, 2), (3, 1)]},
+            width=20,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "*=up" in out and "o=down" in out
+
+    def test_log_axes(self):
+        out = ascii_plot(
+            {"s": [(64, 100), (4096, 10000)]}, logx=True, logy=True, width=20, height=6
+        )
+        assert out.count("\n") >= 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_single_point(self):
+        out = ascii_plot({"s": [(1, 1)]}, width=10, height=4)
+        assert "*" in out

@@ -1,0 +1,301 @@
+"""Correctness tests for the paper's applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.accum import (
+    AccumFetchService,
+    accum_message_passing,
+    accum_shared_memory,
+    fill_array,
+)
+from repro.apps.aq import (
+    aq_parallel,
+    aq_sequential,
+    count_nodes,
+    default_integrand,
+    sequential_cycles as aq_seq_cycles,
+)
+from repro.apps.grain import grain_parallel, grain_sequential, sequential_cycles
+from repro.apps.jacobi import JacobiApp, initial_grid, reference_jacobi
+from repro.machine import Machine, MachineConfig
+from repro.runtime import BulkTransfer, Runtime
+
+
+def machine(n=4):
+    return Machine(MachineConfig(n_nodes=n))
+
+
+class TestAccum:
+    def test_sm_sum_correct(self):
+        m = machine()
+        arr = m.alloc(1, 64 * 8)
+        values = fill_array(m, arr, 64)
+        box = []
+        m.processor(0).run_thread(accum_shared_memory(arr, 64), on_finish=box.append)
+        m.run()
+        assert box == [sum(values)]
+
+    def test_mp_sum_correct(self):
+        m = machine()
+        bulk = BulkTransfer(m)
+        AccumFetchService(m, bulk)
+        arr = m.alloc(1, 64 * 8)
+        buf = m.alloc(0, 64 * 8)
+        values = fill_array(m, arr, 64)
+        box = []
+        m.processor(0).run_thread(
+            accum_message_passing(bulk, 1, arr, buf, 64), on_finish=box.append
+        )
+        m.run()
+        assert box == [sum(values)]
+
+    def test_sm_beats_mp_with_prefetching(self):
+        """Fig. 8: prefetched SM accum is faster (MP serializes
+        transfer and compute)."""
+        n_elems = 512  # 4 KB
+        # SM
+        m1 = machine()
+        arr1 = m1.alloc(1, n_elems * 8)
+        fill_array(m1, arr1, n_elems)
+        t1 = []
+        m1.processor(0).run_thread(
+            accum_shared_memory(arr1, n_elems), on_finish=lambda v: t1.append(m1.sim.now)
+        )
+        m1.run()
+        # MP
+        m2 = machine()
+        bulk = BulkTransfer(m2)
+        AccumFetchService(m2, bulk)
+        arr2 = m2.alloc(1, n_elems * 8)
+        buf2 = m2.alloc(0, n_elems * 8)
+        fill_array(m2, arr2, n_elems)
+        t2 = []
+        m2.processor(0).run_thread(
+            accum_message_passing(bulk, 1, arr2, buf2, n_elems),
+            on_finish=lambda v: t2.append(m2.sim.now),
+        )
+        m2.run()
+        assert t1[0] < t2[0]
+
+
+class TestGrain:
+    def test_sequential_count(self):
+        m = machine(1)
+        box = []
+        m.processor(0).run_thread(grain_sequential(6, 0), on_finish=box.append)
+        m.run()
+        assert box == [64]
+
+    def test_sequential_cycles_matches_simulation(self):
+        m = machine(1)
+        box = []
+        m.processor(0).run_thread(grain_sequential(6, 50), on_finish=box.append)
+        m.run()
+        assert m.sim.now == sequential_cycles(6, 50)
+
+    def test_paper_calibration_anchors(self):
+        """7.1 ms at l=0 and 131.2 ms at l=1000 for n=12 (33 MHz)."""
+        ms0 = sequential_cycles(12, 0) / 33e3
+        ms1000 = sequential_cycles(12, 1000) / 33e3
+        assert abs(ms0 - 7.1) / 7.1 < 0.05
+        assert abs(ms1000 - 131.2) / 131.2 < 0.05
+
+    @pytest.mark.parametrize("kind", ["hybrid", "sm"])
+    def test_parallel_correct(self, kind):
+        m = machine(8)
+        rt = Runtime(m, scheduler=kind)
+        result, _ = rt.run_to_completion(
+            0, lambda rt, nd: grain_parallel(rt, nd, 7, 10)
+        )
+        assert result == 128
+
+
+class TestAq:
+    def test_sequential_matches_scipy(self):
+        import scipy.integrate as si
+
+        m = machine(1)
+        box = []
+        m.processor(0).run_thread(
+            aq_sequential(default_integrand, 0, 0, 1, 1, 1e-4), on_finish=box.append
+        )
+        m.run()
+        ref, _err = si.dblquad(
+            lambda y, x: default_integrand(x, y), 0, 1, 0, 1, epsabs=1e-8
+        )
+        assert abs(box[0] - ref) < 5e-3
+
+    @pytest.mark.parametrize("kind", ["hybrid", "sm"])
+    def test_parallel_matches_sequential(self, kind):
+        m0 = machine(1)
+        box = []
+        m0.processor(0).run_thread(
+            aq_sequential(default_integrand, 0, 0, 1, 1, 1e-3), on_finish=box.append
+        )
+        m0.run()
+        m = machine(8)
+        rt = Runtime(m, scheduler=kind)
+        result, _ = rt.run_to_completion(
+            0, lambda rt, nd: aq_parallel(rt, nd, default_integrand, 0, 0, 1, 1, 1e-3)
+        )
+        assert result == pytest.approx(box[0], rel=1e-12)
+
+    def test_tolerance_scales_tree(self):
+        n_loose = count_nodes(default_integrand, 0, 0, 1, 1, 1e-2)
+        n_tight = count_nodes(default_integrand, 0, 0, 1, 1, 1e-4)
+        assert n_tight > 2 * n_loose
+
+    def test_tree_is_irregular(self):
+        """Different quadrants refine to different depths."""
+        quads = [(0, 0, 0.5, 0.5), (0.5, 0.5, 1, 1), (0, 0.5, 0.5, 1)]
+        counts = {q: count_nodes(default_integrand, *q, 2.5e-4) for q in quads}
+        assert len(set(counts.values())) > 1
+
+    def test_sequential_cycle_model(self):
+        m = machine(1)
+        m.processor(0).run_thread(aq_sequential(default_integrand, 0, 0, 1, 1, 1e-3))
+        m.run()
+        assert m.sim.now == aq_seq_cycles(default_integrand, 0, 0, 1, 1, 1e-3)
+
+
+class TestJacobi:
+    @pytest.mark.parametrize("mode", ["sm", "mp"])
+    def test_matches_numpy_reference(self, mode):
+        m = machine(4)  # 2x2 mesh
+        app = JacobiApp(m, grid_size=16, iters=5, mode=mode)
+        grid, _cycles = app.run()
+        ref = reference_jacobi(initial_grid(16), 5)
+        np.testing.assert_allclose(grid, ref, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("mode", ["sm", "mp"])
+    def test_more_iterations_converge_toward_steady_state(self, mode):
+        m = machine(4)
+        app = JacobiApp(m, grid_size=16, iters=12, mode=mode)
+        grid, _ = app.run()
+        resid = np.abs(grid - reference_jacobi(initial_grid(16), 13)).max()
+        prev_resid = np.abs(initial_grid(16) - reference_jacobi(initial_grid(16), 13)).max()
+        assert resid < prev_resid
+
+    def test_grid_not_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            JacobiApp(machine(4), grid_size=17, iters=1)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            JacobiApp(machine(4), grid_size=16, iters=1, mode="bogus")
+
+    def test_single_node_no_exchange(self):
+        m = machine(1)
+        app = JacobiApp(m, grid_size=8, iters=3, mode="sm")
+        grid, _ = app.run()
+        ref = reference_jacobi(initial_grid(8), 3)
+        np.testing.assert_allclose(grid, ref, rtol=1e-12)
+
+    def test_cycles_scale_with_grid(self):
+        m1 = machine(4)
+        _g, c_small = JacobiApp(m1, grid_size=16, iters=3, mode="sm").run()
+        m2 = machine(4)
+        _g, c_large = JacobiApp(m2, grid_size=32, iters=3, mode="sm").run()
+        assert c_large > c_small
+
+
+class TestAccumPipelined:
+    def _run_mp_pipelined(self, n_elems, chunk=64):
+        from repro.apps.accum import accum_message_pipelined
+
+        m = Machine(MachineConfig(n_nodes=4))
+        bulk = BulkTransfer(m)
+        AccumFetchService(m, bulk)
+        arr = m.alloc(1, n_elems * 8)
+        buf = m.alloc(0, n_elems * 8)
+        values = fill_array(m, arr, n_elems)
+        box = []
+        m.processor(0).run_thread(
+            accum_message_pipelined(bulk, 1, arr, buf, n_elems, chunk_elems=chunk),
+            on_finish=lambda v: box.append((v, m.sim.now)),
+        )
+        m.run()
+        total, cycles = box[0]
+        assert total == sum(values)
+        return cycles
+
+    def test_sum_correct(self):
+        self._run_mp_pipelined(128)
+
+    def test_chunk_validation(self):
+        from repro.apps.accum import accum_message_pipelined
+
+        with pytest.raises(ValueError):
+            list(accum_message_pipelined(None, 1, 0, 0, 8, chunk_elems=0))
+
+    def test_pipelining_beats_monolithic_transfer(self):
+        """Overlapping chunk transfers with summing beats the
+        transfer-then-sum version (paper §4.4's speculation)."""
+        n_elems = 512  # 4 KB
+        m = Machine(MachineConfig(n_nodes=4))
+        bulk = BulkTransfer(m)
+        AccumFetchService(m, bulk)
+        arr = m.alloc(1, n_elems * 8)
+        buf = m.alloc(0, n_elems * 8)
+        fill_array(m, arr, n_elems)
+        box = []
+        m.processor(0).run_thread(
+            accum_message_passing(bulk, 1, arr, buf, n_elems),
+            on_finish=lambda v: box.append(m.sim.now),
+        )
+        m.run()
+        mono = box[0]
+        piped = self._run_mp_pipelined(n_elems)
+        assert piped < mono
+
+    def test_paper_prediction_pipelined_close_to_sm(self):
+        """§4.4: even pipelined, messaging beats prefetched SM 'only by
+        a very small amount' (we accept either side within 40%)."""
+        n_elems = 512
+        piped = self._run_mp_pipelined(n_elems)
+        m = Machine(MachineConfig(n_nodes=4))
+        arr = m.alloc(1, n_elems * 8)
+        fill_array(m, arr, n_elems)
+        box = []
+        m.processor(0).run_thread(
+            accum_shared_memory(arr, n_elems), on_finish=lambda v: box.append(m.sim.now)
+        )
+        m.run()
+        sm = box[0]
+        assert 0.6 < piped / sm < 1.6, f"pipelined {piped} vs SM {sm}"
+
+
+class TestJacobiConvergence:
+    @pytest.mark.parametrize("mode", ["sm", "mp"])
+    def test_stops_early_when_converged(self, mode):
+        m = machine(4)
+        app = JacobiApp(m, grid_size=16, iters=500, mode=mode, converge_eps=0.5)
+        _grid, _cycles = app.run()
+        assert app.converged_at is not None
+        assert app.converged_at < 500
+        # every node stopped at the same iteration
+        assert len(set(app._iter_done)) == 1
+
+    def test_matches_reference_up_to_stop(self):
+        m = machine(4)
+        app = JacobiApp(m, grid_size=16, iters=500, mode="sm", converge_eps=0.5)
+        grid, _ = app.run()
+        ref = reference_jacobi(initial_grid(16), app.converged_at)
+        np.testing.assert_allclose(grid, ref, rtol=1e-12, atol=1e-12)
+
+    def test_tighter_eps_runs_longer(self):
+        stops = {}
+        for eps in (1.0, 0.05):
+            m = machine(4)
+            app = JacobiApp(m, grid_size=16, iters=500, mode="sm", converge_eps=eps)
+            app.run()
+            stops[eps] = app.converged_at
+        assert stops[0.05] > stops[1.0]
+
+    def test_no_eps_runs_fixed_iterations(self):
+        m = machine(4)
+        app = JacobiApp(m, grid_size=16, iters=7, mode="sm")
+        app.run()
+        assert app.converged_at is None
+        assert set(app._iter_done) == {7}

@@ -1,0 +1,110 @@
+"""Tests for the SM and MP combining-tree barriers."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute
+from repro.runtime import MPTreeBarrier, SMTreeBarrier
+
+
+def machine(n):
+    return Machine(MachineConfig(n_nodes=n))
+
+
+def run_barrier_episodes(m, barrier, episodes=1, skews=None):
+    """All nodes enter the barrier ``episodes`` times; returns for each
+    node the list of cycle times at which it left each episode."""
+    n = m.n_nodes
+    skews = skews or [0] * n
+    leave_times = {node: [] for node in range(n)}
+
+    def participant(node):
+        yield Compute(skews[node])
+        for _ in range(episodes):
+            yield from barrier.enter(node)
+            leave_times[node].append(m.sim.now)
+            yield Compute(1 + node % 3)
+
+    for node in range(n):
+        m.processor(node).run_thread(participant(node))
+    m.run()
+    return leave_times
+
+
+@pytest.mark.parametrize("make", [
+    lambda m: SMTreeBarrier(m, arity=2),
+    lambda m: MPTreeBarrier(m, fanout=8),
+], ids=["sm", "mp"])
+class TestBarrierSemantics:
+    def test_all_nodes_released(self, make):
+        m = machine(16)
+        lt = run_barrier_episodes(m, make(m))
+        assert all(len(v) == 1 for v in lt.values())
+
+    def test_no_one_leaves_before_last_arrival(self, make):
+        m = machine(16)
+        # node 7 arrives very late; nobody may leave before it arrives
+        skews = [0] * 16
+        skews[7] = 5000
+        lt = run_barrier_episodes(m, make(m), skews=skews)
+        assert min(t[0] for t in lt.values()) >= 5000
+
+    def test_multiple_episodes(self, make):
+        m = machine(16)
+        lt = run_barrier_episodes(m, make(m), episodes=4)
+        for times in lt.values():
+            assert len(times) == 4
+            assert times == sorted(times)
+
+    def test_episode_separation(self, make):
+        """Episode k+1's release is after every node's episode-k release."""
+        m = machine(8)
+        lt = run_barrier_episodes(m, make(m), episodes=3)
+        for ep in range(2):
+            latest_this = max(t[ep] for t in lt.values())
+            earliest_next = min(t[ep + 1] for t in lt.values())
+            assert earliest_next > latest_this
+
+    def test_works_on_two_nodes(self, make):
+        m = machine(2)
+        lt = run_barrier_episodes(m, make(m))
+        assert all(len(v) == 1 for v in lt.values())
+
+    def test_works_on_64_nodes(self, make):
+        m = machine(64)
+        lt = run_barrier_episodes(m, make(m))
+        assert all(len(v) == 1 for v in lt.values())
+
+
+class TestBarrierShapes:
+    def test_sm_tree_depth_64(self):
+        m = machine(64)
+        b = SMTreeBarrier(m, arity=2)
+        assert b.depth() == 6  # the paper's six-level binary tree
+
+    def test_mp_tree_two_level_8ary(self):
+        m = machine(64)
+        b = MPTreeBarrier(m, fanout=8)
+        assert len(b.leaders) == 8
+        assert b.group_size == 8
+
+    def test_mp_barrier_faster_than_sm_on_64(self):
+        """§4.2: message barrier ≈2.5x faster than the best SM tree."""
+        cycles = {}
+        for name in ("sm", "mp"):
+            m = machine(64)
+            b = SMTreeBarrier(m, arity=2) if name == "sm" else MPTreeBarrier(m, fanout=8)
+            lt = run_barrier_episodes(m, b, episodes=3)
+            # steady-state episode time: last episode completion delta
+            start = max(t[1] for t in lt.values())
+            end = max(t[2] for t in lt.values())
+            cycles[name] = end - start
+        assert cycles["mp"] < cycles["sm"]
+
+    def test_sm_barrier_arity_validation(self):
+        with pytest.raises(ValueError):
+            SMTreeBarrier(machine(4), arity=1)
+
+    def test_mp_barrier_fanout_validation(self):
+        with pytest.raises(ValueError):
+            MPTreeBarrier(machine(4), fanout=1)

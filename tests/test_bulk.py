@@ -1,0 +1,156 @@
+"""Tests for bulk memory-to-memory copy (§4.4)."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute, Load, Store
+from repro.runtime import BulkTransfer, copy_no_prefetch, copy_prefetch
+
+
+def machine(n=4):
+    return Machine(MachineConfig(n_nodes=n))
+
+
+def fill(m, addr, n_dwords, fn=lambda i: i * 7 + 1):
+    for i in range(n_dwords):
+        m.store.write(addr + i * 8, fn(i))
+
+
+def read_back(m, addr, n_dwords):
+    return [m.store.read(addr + i * 8) for i in range(n_dwords)]
+
+
+def run_copy(m, gen):
+    done = []
+    m.processor(0).run_thread(gen, on_finish=lambda v: done.append(m.sim.now))
+    m.run()
+    assert done
+    return done[0]
+
+
+class TestSMCopies:
+    @pytest.mark.parametrize("copier", [copy_no_prefetch, copy_prefetch])
+    def test_copies_values(self, copier):
+        m = machine()
+        src = m.alloc(0, 128)
+        dst = m.alloc(1, 128)
+        fill(m, src, 16)
+        run_copy(m, copier(src, dst, 128))
+        assert read_back(m, dst, 16) == [i * 7 + 1 for i in range(16)]
+
+    @pytest.mark.parametrize("copier", [copy_no_prefetch, copy_prefetch])
+    def test_rejects_unaligned_length(self, copier):
+        with pytest.raises(ValueError):
+            list(copier(0x100, 0x200, 12))
+
+    def test_prefetch_copy_slower_remote_dest(self):
+        """Fig. 7: the prefetching loop is *slower* than the plain loop
+        for a push-copy (prefetch fetches the destination line SHARED,
+        then the store pays a second, full write transaction)."""
+        times = {}
+        for name, copier in (("plain", copy_no_prefetch), ("pref", copy_prefetch)):
+            m = machine()
+            src = m.alloc(0, 1024)
+            dst = m.alloc(1, 1024)
+            fill(m, src, 128)
+
+            def warm_then_copy():
+                # warm source into cache as a real benchmark would
+                for i in range(128):
+                    yield Load(src + i * 8)
+                t0 = m.sim.now
+                yield from copier(src, dst, 1024)
+                return m.sim.now - t0
+
+            box = []
+            m.processor(0).run_thread(warm_then_copy(), on_finish=box.append)
+            m.run()
+            times[name] = box[0]
+        assert times["pref"] > times["plain"]
+
+
+class TestMessageCopy:
+    def test_values_arrive(self):
+        m = machine()
+        bulk = BulkTransfer(m)
+        src = m.alloc(0, 256)
+        dst = m.alloc(2, 256)
+        fill(m, src, 32)
+
+        def sender():
+            yield from bulk.send(2, src, dst, 256, wait_ack=True)
+
+        run_copy(m, sender())
+        assert read_back(m, dst, 32) == [i * 7 + 1 for i in range(32)]
+
+    def test_arrival_future_resolves(self):
+        m = machine()
+        bulk = BulkTransfer(m)
+        src = m.alloc(0, 64)
+        dst = m.alloc(1, 64)
+        fill(m, src, 8)
+        cid = bulk.new_copy_id()
+        arrived = []
+
+        def receiver_waits():
+            yield from bulk.arrival_future(cid).wait()
+            v = yield Load(dst)
+            arrived.append(v)
+
+        def sender():
+            yield from bulk.send(1, src, dst, 64, copy_id=cid)
+
+        m.processor(1).run_thread(receiver_waits())
+        m.processor(0).run_thread(sender())
+        m.run()
+        assert arrived == [1]
+
+    def test_sender_free_before_arrival_without_ack(self):
+        m = machine()
+        bulk = BulkTransfer(m)
+        src = m.alloc(0, 4096)
+        dst = m.alloc(3, 4096)
+        cid = bulk.new_copy_id()
+        sender_done = []
+        arrival_time = []
+
+        def on_arrival(_):
+            arrival_time.append(m.sim.now)
+
+        bulk.arrival_future(cid).add_waiter(on_arrival)
+
+        def sender():
+            yield from bulk.send(3, src, dst, 4096, copy_id=cid)
+            sender_done.append(m.sim.now)
+
+        m.processor(0).run_thread(sender())
+        m.run()
+        assert sender_done[0] < arrival_time[0]
+
+    def test_message_copy_beats_sm_for_large_blocks(self):
+        """Fig. 7: MP copy ≈3x+ faster at 4 KB."""
+        nbytes = 4096
+        # message-based
+        m1 = machine()
+        bulk = BulkTransfer(m1)
+        src1, dst1 = m1.alloc(0, nbytes), m1.alloc(1, nbytes)
+        fill(m1, src1, nbytes // 8)
+        t_mp = run_copy(m1, bulk.send(1, src1, dst1, nbytes, wait_ack=True))
+        # shared-memory
+        m2 = machine()
+        src2, dst2 = m2.alloc(0, nbytes), m2.alloc(1, nbytes)
+        fill(m2, src2, nbytes // 8)
+        t_sm = run_copy(m2, copy_no_prefetch(src2, dst2, nbytes))
+        assert t_sm > 2 * t_mp
+
+    def test_sm_copy_beats_message_for_tiny_blocks(self):
+        """Fig. 7 crossover: shared-memory wins for small blocks."""
+        nbytes = 64
+        m1 = machine()
+        bulk = BulkTransfer(m1)
+        src1, dst1 = m1.alloc(0, nbytes), m1.alloc(1, nbytes)
+        t_mp = run_copy(m1, bulk.send(1, src1, dst1, nbytes, wait_ack=True))
+        m2 = machine()
+        src2, dst2 = m2.alloc(0, nbytes), m2.alloc(1, nbytes)
+        t_sm = run_copy(m2, copy_no_prefetch(src2, dst2, nbytes))
+        assert t_sm < t_mp

@@ -1,0 +1,100 @@
+"""Calibration tests: the model's absolute numbers stay pinned to the
+paper's published anchors (within tolerance bands).
+
+These are the regression tripwires for the cost model — if a change
+to protocol timing or runtime costs drifts an anchor, a test here
+fails before the benches do.
+"""
+
+import pytest
+
+from repro.analysis.metrics import mbytes_per_sec
+from repro.experiments import barrier_exp, fig7_memcpy, rti_exp
+from repro.experiments.fig7_memcpy import _measure_mp, _measure_sm
+from repro.runtime.bulk import copy_no_prefetch, copy_prefetch
+
+
+def within(measured, paper, rel):
+    assert paper * (1 - rel) <= measured <= paper * (1 + rel), (
+        f"measured {measured} vs paper {paper} (±{rel:.0%})"
+    )
+
+
+class TestFig7Anchors:
+    """Paper: 256 B -> 17.3/11.7/7.3 MB/s; 4 KB -> 55.4/16.4/8.6 MB/s."""
+
+    def test_mp_4k_bandwidth(self):
+        mb = mbytes_per_sec(4096, _measure_mp(4096))
+        within(mb, 55.4, 0.25)
+
+    def test_mp_256_bandwidth(self):
+        mb = mbytes_per_sec(256, _measure_mp(256))
+        within(mb, 17.3, 0.35)
+
+    def test_plain_4k_bandwidth(self):
+        mb = mbytes_per_sec(4096, _measure_sm(copy_no_prefetch, 4096))
+        within(mb, 16.4, 0.35)
+
+    def test_prefetch_4k_bandwidth(self):
+        mb = mbytes_per_sec(4096, _measure_sm(copy_prefetch, 4096))
+        within(mb, 8.6, 0.35)
+
+    def test_mp_advantage_grows_with_block_size(self):
+        r256 = _measure_sm(copy_no_prefetch, 256) / _measure_mp(256)
+        r4k = _measure_sm(copy_no_prefetch, 4096) / _measure_mp(4096)
+        assert r4k > r256 > 1.0
+
+
+class TestBarrierAnchors:
+    """Paper: SM ≈1650 cycles, MP ≈660 cycles on 64 processors."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        res = barrier_exp.run(n_nodes=64)
+        return dict(zip(res.column("implementation"), res.column("cycles")))
+
+    def test_sm_cycles(self, table):
+        within(table["shared-memory (binary tree)"], 1650, 0.45)
+
+    def test_mp_cycles(self, table):
+        within(table["message-passing (8-ary tree)"], 660, 0.55)
+
+    def test_ratio(self, table):
+        ratio = (
+            table["shared-memory (binary tree)"]
+            / table["message-passing (8-ary tree)"]
+        )
+        # paper ratio 2.5; accept 1.8-4x
+        assert 1.8 <= ratio <= 4.0
+
+
+class TestRtiAnchors:
+    """Paper: SM 353/805 cycles; MP 17/244 cycles."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        res = rti_exp.run(n_nodes=64, trials=8)
+        return {r["implementation"]: r for r in res.rows}
+
+    def test_sm_invoker(self, table):
+        within(table["shared-memory"]["Tinvoker"], 353, 0.35)
+
+    def test_mp_invoker(self, table):
+        within(table["message-based"]["Tinvoker"], 17, 0.6)
+
+    def test_invokee_ordering(self, table):
+        assert table["message-based"]["Tinvokee"] < table["shared-memory"]["Tinvokee"]
+
+    def test_sm_invokee_ballpark(self, table):
+        # paper 805; the invokee poll cadence dominates, accept a wide band
+        assert 250 <= table["shared-memory"]["Tinvokee"] <= 1600
+
+
+class TestGrainAnchors:
+    """Paper sequential times: 7.1 ms (l=0) and 131.2 ms (l=1000)."""
+
+    def test_sequential_model(self):
+        from repro.apps.grain import sequential_cycles
+
+        within(sequential_cycles(12, 0) / 33e3, 7.1, 0.05)
+        within(sequential_cycles(12, 1000) / 33e3, 131.2, 0.05)

@@ -1,0 +1,68 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import QUICK_ARGS, main, run_experiment
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_quick_args_cover_all_experiments():
+    assert set(QUICK_ARGS) == set(ALL_EXPERIMENTS)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ALL_EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_run_quick_fig7(capsys):
+    assert main(["run", "fig7", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "message-passing" in out
+    assert "took" in out
+
+
+def test_run_quick_barrier_with_nodes(capsys):
+    assert main(["run", "barrier", "--quick", "--nodes", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "16 processors" in out
+
+
+def test_nodes_rejected_for_fixed_experiments():
+    with pytest.raises(SystemExit):
+        run_experiment("fig7", quick=True, nodes=8)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nope"])
+
+
+def test_run_experiment_returns_table():
+    text = run_experiment("fig8", quick=True)
+    assert "accum" in text
+
+
+def test_run_with_plot(capsys):
+    assert main(["run", "fig7", "--quick", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "log-log" in out
+    assert "*=no-prefetching" in out
+
+
+def test_plot_result_returns_none_for_tables():
+    from repro.analysis.tables import ExperimentResult
+    from repro.cli import plot_result
+
+    res = ExperimentResult(exp_id="barrier", title="t", columns=["a"])
+    assert plot_result(res) is None
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "machine report" in out
+    assert "trace:" in out
+    assert "speedup" in out

@@ -1,0 +1,139 @@
+"""Tests for the CMMU message interface and descriptor format."""
+
+import pytest
+
+from repro.cmmu.message import (
+    MAX_DESCRIPTOR_WORDS,
+    BlockRef,
+    Message,
+    descriptor_words,
+    validate_descriptor,
+)
+from repro.machine import Machine, MachineConfig
+from repro.params import CmmuParams
+from repro.proc import Compute, Send
+
+
+class TestDescriptor:
+    def test_words_counts_operands_and_pairs(self):
+        # header(2) + 3 operands + 2 words per address-length pair
+        assert descriptor_words(3, 2) == 2 + 3 + 4
+
+    def test_validate_within_limit(self):
+        validate_descriptor(tuple(range(6)), [BlockRef(0x100, 64)] * 4)
+
+    def test_validate_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            validate_descriptor(tuple(range(15)), [])
+
+    def test_max_is_sixteen_words(self):
+        assert MAX_DESCRIPTOR_WORDS == 16  # paper §3
+
+    def test_blockref_validation(self):
+        with pytest.raises(ValueError):
+            BlockRef(0x100, 0)
+        with pytest.raises(ValueError):
+            BlockRef(-8, 16)
+
+    def test_message_data_words_rounds_up(self):
+        msg = Message(src=0, dst=1, mtype="x", data_bytes=10)
+        assert msg.data_words == 3
+
+    def test_message_ids_unique(self):
+        a = Message(src=0, dst=1, mtype="x")
+        b = Message(src=0, dst=1, mtype="x")
+        assert a.mid != b.mid
+
+
+class TestCmmuCosts:
+    def test_describe_cost_scales(self):
+        p = CmmuParams()
+        small = p.describe_cost(1, 0)
+        big = p.describe_cost(8, 2)
+        assert big > small
+
+    def test_send_cost_visible_to_sender(self):
+        """More operands -> the sender is occupied longer."""
+        times = {}
+        for n_ops in (1, 10):
+            m = Machine(MachineConfig(n_nodes=2))
+
+            def handler(msg):
+                yield Compute(1)
+
+            m.processor(1).register_handler("x", handler)
+            box = []
+
+            def sender(n=n_ops):
+                t0 = m.sim.now
+                yield Send(1, "x", operands=tuple(range(n)))
+                box.append(m.sim.now - t0)
+
+            m.processor(0).run_thread(sender())
+            m.run()
+            times[n_ops] = box[0]
+        assert times[10] > times[1]
+
+    def test_interrupt_stats_counted(self):
+        m = Machine(MachineConfig(n_nodes=2))
+
+        def handler(msg):
+            yield Compute(1)
+
+        m.processor(1).register_handler("x", handler)
+
+        def sender():
+            for _ in range(3):
+                yield Send(1, "x")
+
+        m.processor(0).run_thread(sender())
+        m.run()
+        assert m.nodes[1].cmmu.stats.interrupts_raised == 3
+        assert m.nodes[1].cmmu.stats.messages_received == 3
+        assert m.nodes[0].cmmu.stats.messages_sent == 3
+
+    def test_dma_transfer_counted(self):
+        m = Machine(MachineConfig(n_nodes=2))
+        src = m.alloc(0, 128)
+        dst = m.alloc(1, 128)
+
+        def handler(msg):
+            from repro.proc import Storeback
+
+            yield Storeback(msg.operands[0])
+
+        m.processor(1).register_handler("bulk", handler)
+
+        def sender():
+            yield Send(1, "bulk", operands=(dst,), blocks=[BlockRef(src, 128)])
+
+        m.processor(0).run_thread(sender())
+        m.run()
+        assert m.nodes[0].cmmu.stats.dma_transfers == 1
+        assert m.nodes[0].cmmu.stats.data_words_sent == 32
+
+    def test_back_to_back_dma_serializes_on_engine(self):
+        """Two large sends from one node share the source DMA engine."""
+        m = Machine(MachineConfig(n_nodes=2))
+        src = m.alloc(0, 4096)
+        dst1 = m.alloc(1, 4096)
+        dst2 = m.alloc(1, 4096)
+        arrivals = []
+
+        def handler(msg):
+            from repro.proc import Storeback
+
+            yield Storeback(msg.operands[0])
+            arrivals.append(m.sim.now)
+
+        m.processor(1).register_handler("bulk", handler)
+
+        def sender():
+            yield Send(1, "bulk", operands=(dst1,), blocks=[BlockRef(src, 4096)])
+            yield Send(1, "bulk", operands=(dst2,), blocks=[BlockRef(src, 4096)])
+
+        m.processor(0).run_thread(sender())
+        m.run()
+        assert len(arrivals) == 2
+        stream = 1024 * m.config.cmmu.dma_cycles_per_word
+        assert arrivals[1] - arrivals[0] >= stream * 0.9

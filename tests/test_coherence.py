@@ -1,0 +1,331 @@
+"""Integration tests for the directory coherence protocol engine."""
+
+import pytest
+
+from repro.memory import (
+    AccessKind,
+    Cache,
+    CoherenceEngine,
+    CoherenceParams,
+    Directory,
+    DirState,
+    LineState,
+    make_addr,
+)
+from repro.network import Mesh2D, Network
+from repro.sim import Resource, Simulator
+
+
+def make_engine(n_nodes=4, cache_lines=64, params=None, hw_pointers=5):
+    sim = Simulator()
+    net = Network(sim, Mesh2D(n_nodes))
+    eng = CoherenceEngine(sim, net, params=params)
+    for node in range(n_nodes):
+        cache = Cache(node, capacity_lines=cache_lines)
+        directory = Directory(node, hw_pointers=hw_pointers)
+        eng.add_node(node, cache, directory, Resource(sim, f"mem{node}"))
+        net.attach(node, eng.handle_packet)
+    return sim, net, eng
+
+
+def do_access(sim, eng, node, addr, kind):
+    """Run one access to completion; returns elapsed cycles."""
+    start = sim.now
+    done = []
+    eng.access(node, addr, kind, lambda: done.append(sim.now))
+    sim.run()
+    assert done, "access never completed"
+    return done[0] - start
+
+
+class TestBasicTransactions:
+    def test_remote_read_miss_then_hit(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x100)
+        miss = do_access(sim, eng, 0, addr, AccessKind.READ)
+        hit = do_access(sim, eng, 0, addr, AccessKind.READ)
+        assert hit == eng.p.load_hit
+        assert miss > 4 * hit
+        assert eng.caches[0].state(addr & ~15) is LineState.SHARED
+
+    def test_local_read_miss_cheaper_than_remote(self):
+        sim, net, eng = make_engine()
+        local = do_access(sim, eng, 0, make_addr(0, 0x100), AccessKind.READ)
+        sim2, net2, eng2 = make_engine()
+        remote = do_access(sim2, eng2, 0, make_addr(3, 0x100), AccessKind.READ)
+        assert local < remote
+
+    def test_write_miss_gets_modified(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x200)
+        do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        assert eng.caches[0].state(addr & ~15) is LineState.MODIFIED
+        e = eng.dirs[1].peek(addr & ~15)
+        assert e.state is DirState.EXCLUSIVE and e.owner == 0
+
+    def test_store_hit_on_modified(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x200)
+        do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        assert do_access(sim, eng, 0, addr, AccessKind.WRITE) == eng.p.store_hit
+
+    def test_read_sets_directory_sharer(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(2, 0x300)
+        do_access(sim, eng, 0, addr, AccessKind.READ)
+        do_access(sim, eng, 1, addr, AccessKind.READ)
+        e = eng.dirs[2].peek(addr & ~15)
+        assert e.state is DirState.SHARED and e.sharers == {0, 1}
+
+
+class TestInvalidation:
+    def test_write_invalidates_sharers(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(3, 0x100)
+        line = addr & ~15
+        for reader in (0, 1):
+            do_access(sim, eng, reader, addr, AccessKind.READ)
+        do_access(sim, eng, 2, addr, AccessKind.WRITE)
+        assert eng.caches[0].state(line) is LineState.INVALID
+        assert eng.caches[1].state(line) is LineState.INVALID
+        assert eng.caches[2].state(line) is LineState.MODIFIED
+        assert eng.stats.invalidations == 2
+
+    def test_write_to_shared_costs_more_than_unowned(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(3, 0x100)
+        unowned_cost = do_access(sim, eng, 2, make_addr(3, 0x500), AccessKind.WRITE)
+        for reader in (0, 1):
+            do_access(sim, eng, reader, addr, AccessKind.READ)
+        shared_cost = do_access(sim, eng, 2, addr, AccessKind.WRITE)
+        assert shared_cost > unowned_cost
+
+    def test_store_to_own_shared_line_reissues_write_miss(self):
+        """Without the upgrade optimization a store to a SHARED line is
+        a full write transaction (key to Fig. 7's prefetch behaviour)."""
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x100)
+        do_access(sim, eng, 0, addr, AccessKind.READ)
+        writes_before = eng.stats.write_misses
+        cost = do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        assert eng.stats.write_misses == writes_before + 1
+        assert cost > eng.p.store_hit
+        assert eng.caches[0].state(addr & ~15) is LineState.MODIFIED
+
+    def test_home_own_copy_invalidated_on_remote_write(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x700)
+        line = addr & ~15
+        do_access(sim, eng, 1, addr, AccessKind.READ)   # home caches own line
+        do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        assert eng.caches[1].state(line) is LineState.INVALID
+        assert eng.caches[0].state(line) is LineState.MODIFIED
+
+
+class TestDirtyRemote:
+    def test_read_of_dirty_line_forwards(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(2, 0x400)
+        line = addr & ~15
+        do_access(sim, eng, 0, addr, AccessKind.WRITE)   # node 0 owns dirty
+        cost = do_access(sim, eng, 1, addr, AccessKind.READ)
+        assert eng.stats.forwards == 1
+        assert eng.caches[0].state(line) is LineState.SHARED
+        assert eng.caches[1].state(line) is LineState.SHARED
+        e = eng.dirs[2].peek(line)
+        assert e.state is DirState.SHARED and e.sharers == {0, 1}
+        # three-legged transaction costs more than a clean read
+        sim2, net2, eng2 = make_engine()
+        clean = do_access(sim2, eng2, 1, addr, AccessKind.READ)
+        assert cost > clean
+
+    def test_write_of_dirty_line_transfers_ownership(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(2, 0x400)
+        line = addr & ~15
+        do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        do_access(sim, eng, 1, addr, AccessKind.WRITE)
+        assert eng.caches[0].state(line) is LineState.INVALID
+        assert eng.caches[1].state(line) is LineState.MODIFIED
+        e = eng.dirs[2].peek(line)
+        assert e.state is DirState.EXCLUSIVE and e.owner == 1
+
+    def test_dirty_in_home_own_cache(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(2, 0x800)
+        line = addr & ~15
+        do_access(sim, eng, 2, addr, AccessKind.WRITE)   # home dirties own line
+        do_access(sim, eng, 0, addr, AccessKind.READ)
+        assert eng.caches[2].state(line) is LineState.SHARED
+        assert eng.caches[0].state(line) is LineState.SHARED
+
+
+class TestEviction:
+    def test_dirty_eviction_writes_back_and_clears_directory(self):
+        sim, net, eng = make_engine(cache_lines=1)
+        a1 = make_addr(1, 0x100)
+        a2 = make_addr(1, 0x200)
+        do_access(sim, eng, 0, a1, AccessKind.WRITE)
+        do_access(sim, eng, 0, a2, AccessKind.WRITE)  # evicts a1
+        sim.run()
+        assert eng.caches[0].state(a1 & ~15) is LineState.INVALID
+        assert eng.stats.writebacks == 1
+        e = eng.dirs[1].peek(a1 & ~15)
+        assert e.state is DirState.UNOWNED
+
+    def test_reread_after_eviction_misses_again(self):
+        sim, net, eng = make_engine(cache_lines=1)
+        a1 = make_addr(1, 0x100)
+        a2 = make_addr(1, 0x200)
+        do_access(sim, eng, 0, a1, AccessKind.READ)
+        do_access(sim, eng, 0, a2, AccessKind.READ)
+        cost = do_access(sim, eng, 0, a1, AccessKind.READ)
+        assert cost > eng.p.load_hit
+
+
+class TestPrefetch:
+    def test_prefetch_fills_shared_in_background(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x600)
+        issue = do_access(sim, eng, 0, addr, AccessKind.PREFETCH)
+        assert issue == eng.p.prefetch_issue
+        sim.run()
+        assert eng.caches[0].state(addr & ~15) is LineState.SHARED
+        hit = do_access(sim, eng, 0, addr, AccessKind.READ)
+        assert hit == eng.p.load_hit
+
+    def test_prefetch_issue_nonblocking(self):
+        """The prefetch on_done fires long before the fill lands."""
+        sim, net, eng = make_engine()
+        addr = make_addr(3, 0x600)
+        done_at = []
+        eng.access(0, addr, AccessKind.PREFETCH, lambda: done_at.append(sim.now))
+        sim.run()
+        assert done_at[0] == eng.p.prefetch_issue
+        assert sim.now > done_at[0]
+
+    def test_demand_read_merges_with_prefetch(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x600)
+        order = []
+        eng.access(0, addr, AccessKind.PREFETCH, lambda: order.append("pf"))
+        eng.access(0, addr, AccessKind.READ, lambda: order.append("rd"))
+        sim.run()
+        assert order == ["pf", "rd"]
+        # exactly one transaction went to the home
+        assert eng.stats.transactions == 1
+
+    def test_prefetch_slots_limit(self):
+        params = CoherenceParams(prefetch_slots=1)
+        sim, net, eng = make_engine(params=params)
+        eng.access(0, make_addr(1, 0x100), AccessKind.PREFETCH, lambda: None)
+        eng.access(0, make_addr(1, 0x200), AccessKind.PREFETCH, lambda: None)
+        sim.run()
+        assert eng.stats.prefetches_issued == 1
+        assert eng.stats.prefetches_dropped == 1
+
+    def test_prefetch_to_cached_line_is_noop(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x100)
+        do_access(sim, eng, 0, addr, AccessKind.READ)
+        before = eng.stats.transactions
+        do_access(sim, eng, 0, addr, AccessKind.PREFETCH)
+        assert eng.stats.transactions == before
+
+    def test_write_after_prefetch_upgrades(self):
+        """A store behind an in-flight prefetch waits for the S fill and
+        then issues its own write transaction."""
+        sim, net, eng = make_engine()
+        addr = make_addr(1, 0x600)
+        done = []
+        eng.access(0, addr, AccessKind.PREFETCH, lambda: None)
+        eng.access(0, addr, AccessKind.WRITE, lambda: done.append(sim.now))
+        sim.run()
+        assert done
+        assert eng.caches[0].state(addr & ~15) is LineState.MODIFIED
+        assert eng.stats.transactions == 2  # prefetch + write
+
+
+class TestContention:
+    def test_same_line_requests_serialize_at_home(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(3, 0x100)
+        done = {}
+        eng.access(0, addr, AccessKind.WRITE, lambda: done.setdefault(0, sim.now))
+        eng.access(1, addr, AccessKind.WRITE, lambda: done.setdefault(1, sim.now))
+        sim.run()
+        assert len(done) == 2
+        assert done[1] != done[0]
+        # the loser needed ownership stolen from the winner
+        assert eng.stats.forwards >= 1 or eng.stats.invalidations >= 1
+
+    def test_hot_home_port_backs_up(self):
+        """Many same-home misses take longer per miss than a lone miss."""
+        sim, net, eng = make_engine(16)
+        lone = do_access(sim, eng, 0, make_addr(1, 0x9000), AccessKind.READ)
+        sim2, net2, eng2 = make_engine(16)
+        done = []
+        for requester in range(2, 10):
+            eng2.access(
+                requester,
+                make_addr(1, 0x100 + 0x10 * requester),
+                AccessKind.READ,
+                lambda: done.append(sim2.now),
+            )
+        sim2.run()
+        assert len(done) == 8
+        assert max(done) > lone
+
+    def test_limitless_overflow_charges_trap(self):
+        params = CoherenceParams(trap_cycles=100)
+        sim, net, eng = make_engine(n_nodes=16, params=params, hw_pointers=2)
+        addr = make_addr(0, 0x100)
+        for reader in range(1, 8):
+            do_access(sim, eng, reader, addr, AccessKind.READ)
+        assert eng.dirs[0].stats.software_traps > 0
+        # invalidating the overflowed line pays the trap cost
+        cost = do_access(sim, eng, 8, addr, AccessKind.WRITE)
+        sim2, net2, eng2 = make_engine(n_nodes=16, params=params, hw_pointers=2)
+        lone = do_access(sim2, eng2, 8, addr, AccessKind.WRITE)
+        assert cost > lone + params.trap_cycles // 2
+
+
+class TestDmaFlush:
+    def test_flush_invalidates_and_fixes_directory(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(0, 0x100)
+        line = addr & ~15
+        do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        dirty = eng.dma_flush(0, addr, 16)
+        assert dirty == 1
+        assert eng.caches[0].state(line) is LineState.INVALID
+        assert eng.dirs[0].peek(line).state is DirState.UNOWNED
+
+    def test_flush_clean_lines_counts_zero_dirty(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(0, 0x100)
+        do_access(sim, eng, 0, addr, AccessKind.READ)
+        assert eng.dma_flush(0, addr, 16) == 0
+
+    def test_flush_leaves_third_party_copies(self):
+        sim, net, eng = make_engine()
+        addr = make_addr(0, 0x100)
+        line = addr & ~15
+        do_access(sim, eng, 0, addr, AccessKind.READ)
+        do_access(sim, eng, 1, addr, AccessKind.READ)
+        eng.dma_flush(0, addr, 16)
+        assert eng.caches[1].state(line) is LineState.SHARED
+        assert eng.dirs[0].peek(line).sharers == {1}
+
+
+class TestUpgradeOptimization:
+    def test_upgrade_cheaper_when_enabled(self):
+        base = CoherenceParams(upgrade_optimization=False)
+        opt = CoherenceParams(upgrade_optimization=True)
+        costs = {}
+        for name, params in (("base", base), ("opt", opt)):
+            sim, net, eng = make_engine(params=params)
+            addr = make_addr(1, 0x100)
+            do_access(sim, eng, 0, addr, AccessKind.READ)
+            costs[name] = do_access(sim, eng, 0, addr, AccessKind.WRITE)
+        assert costs["opt"] <= costs["base"]

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion and prints
+its headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["speedup", "hybrid"],
+    "producer_consumer.py": ["single message", "shared-memory"],
+    "heat_diffusion.py": ["matches numpy exactly", "cycles/iter"],
+    "adaptive_quadrature.py": ["integral", "speedup"],
+    "custom_machine.py": ["default Alewife", "MP barrier"],
+    "shared_objects.py": ["winner", "move-the-data"],
+    "latency_tolerance.py": ["blocking loads", "hardware contexts"],
+}
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_all_examples_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), "keep CASES in sync with examples/"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    out = run_example(name)
+    for needle in CASES[name]:
+        assert needle in out, f"{name}: {needle!r} missing from output"

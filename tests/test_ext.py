@@ -1,0 +1,240 @@
+"""Tests for the §6 future-work extensions: channels and shared objects."""
+
+import pytest
+
+from repro.ext import Channel, ObjectSpace
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute
+
+
+def machine(n=4):
+    return Machine(MachineConfig(n_nodes=n))
+
+
+def run_pair(m, producer_gen, consumer_gen, producer=0, consumer=1):
+    out = {}
+    m.processor(producer).run_thread(producer_gen, on_finish=lambda v: out.setdefault("p", v))
+    m.processor(consumer).run_thread(consumer_gen, on_finish=lambda v: out.setdefault("c", v))
+    m.run(max_events=5_000_000)
+    return out
+
+
+class TestChannel:
+    @pytest.mark.parametrize("mechanism", ["sm", "mp"])
+    def test_fifo_order(self, mechanism):
+        m = machine()
+        chan = Channel(m, producer=0, consumer=1, mechanism=mechanism)
+
+        def producer():
+            for i in range(20):
+                yield from chan.put(i * 3)
+                yield Compute(5)
+
+        def consumer():
+            got = []
+            for _ in range(20):
+                v = yield from chan.get()
+                got.append(v)
+            return got
+
+        out = run_pair(m, producer(), consumer())
+        assert out["c"] == [i * 3 for i in range(20)]
+
+    @pytest.mark.parametrize("mechanism", ["sm", "mp"])
+    def test_wraps_capacity(self, mechanism):
+        m = machine()
+        chan = Channel(m, producer=0, consumer=1, mechanism=mechanism, capacity=4)
+
+        def producer():
+            for i in range(17):  # > 4 laps
+                yield from chan.put(i)
+
+        def consumer():
+            got = []
+            for _ in range(17):
+                got.append((yield from chan.get()))
+            return got
+
+        out = run_pair(m, producer(), consumer())
+        assert out["c"] == list(range(17))
+
+    @pytest.mark.parametrize("mechanism", ["sm", "mp"])
+    def test_consumer_blocks_until_put(self, mechanism):
+        m = machine()
+        chan = Channel(m, producer=0, consumer=1, mechanism=mechanism)
+        times = {}
+
+        def producer():
+            yield Compute(2000)
+            yield from chan.put("late")
+
+        def consumer():
+            v = yield from chan.get()
+            times["got_at"] = m.sim.now
+            return v
+
+        out = run_pair(m, producer(), consumer())
+        assert out["c"] == "late"
+        assert times["got_at"] >= 2000
+
+    def test_sm_producer_blocks_when_full(self):
+        m = machine()
+        chan = Channel(m, producer=0, consumer=1, mechanism="sm", capacity=2)
+        prod_done = []
+
+        def producer():
+            for i in range(4):
+                yield from chan.put(i)
+            prod_done.append(m.sim.now)
+
+        def consumer():
+            yield Compute(5000)  # consume late
+            got = []
+            for _ in range(4):
+                got.append((yield from chan.get()))
+            return got
+
+        out = run_pair(m, producer(), consumer())
+        assert out["c"] == [0, 1, 2, 3]
+        assert prod_done[0] > 5000  # producer had to wait for drains
+
+    def test_mp_put_is_cheap_for_producer(self):
+        m = machine()
+        chan_mp = Channel(m, producer=0, consumer=1, mechanism="mp")
+        cost = []
+
+        def producer():
+            t0 = m.sim.now
+            yield from chan_mp.put(1)
+            cost.append(m.sim.now - t0)
+
+        def consumer():
+            return (yield from chan_mp.get())
+
+        run_pair(m, producer(), consumer())
+        assert cost[0] < 20  # describe+launch only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel(machine(), 0, 1, mechanism="bogus")
+        with pytest.raises(ValueError):
+            Channel(machine(), 0, 1, capacity=0)
+
+
+def make_counter_space(m):
+    space = ObjectSpace(m)
+    obj = space.create(
+        home=0,
+        fields={"count": 0, "total": 0},
+        methods={
+            "add": lambda f, x: (f["count"] + 1, {"count": f["count"] + 1, "total": f["total"] + x}),
+            "read": lambda f: ((f["count"], f["total"]), {}),
+        },
+    )
+    return space, obj
+
+
+class TestSharedObject:
+    @pytest.mark.parametrize("policy", ["data", "compute"])
+    def test_method_updates_fields(self, policy):
+        m = machine()
+        _space, obj = make_counter_space(m)
+
+        def caller():
+            yield from obj.invoke(2, "add", (10,), policy=policy)
+            yield from obj.invoke(2, "add", (5,), policy=policy)
+            result = yield from obj.invoke(2, "read", policy=policy)
+            return result
+
+        out = {}
+        m.processor(2).run_thread(caller(), on_finish=lambda v: out.setdefault("r", v))
+        m.run()
+        assert out["r"] == (2, 15)
+        assert obj.read_field("count") == 2
+        assert obj.read_field("total") == 15
+
+    @pytest.mark.parametrize("policy", ["data", "compute"])
+    def test_concurrent_adders_consistent(self, policy):
+        m = machine()
+        _space, obj = make_counter_space(m)
+
+        def adder(node, times):
+            for _ in range(times):
+                yield from obj.invoke(node, "add", (1,), policy=policy)
+                yield Compute(7)
+
+        for node in range(4):
+            m.processor(node).run_thread(adder(node, 5))
+        m.run(max_events=5_000_000)
+        assert obj.read_field("count") == 20
+        assert obj.read_field("total") == 20
+
+    def test_mixed_policies_stay_consistent(self):
+        m = machine()
+        _space, obj = make_counter_space(m)
+
+        def adder(node, policy):
+            for _ in range(6):
+                yield from obj.invoke(node, "add", (1,), policy=policy)
+
+        m.processor(1).run_thread(adder(1, "data"))
+        m.processor(2).run_thread(adder(2, "compute"))
+        m.run(max_events=5_000_000)
+        assert obj.read_field("count") == 12
+
+    def test_compute_policy_from_home_is_local(self):
+        m = machine()
+        _space, obj = make_counter_space(m)
+        out = {}
+
+        def caller():
+            v = yield from obj.invoke(0, "add", (1,), policy="compute")
+            return v
+
+        m.processor(0).run_thread(caller(), on_finish=lambda v: out.setdefault("r", v))
+        m.run()
+        assert out["r"] == 1
+
+    def test_write_hot_prefers_compute_policy(self):
+        """The §6 claim quantified: a write-hot object accessed by many
+        nodes is faster under move-the-computation."""
+        cycles = {}
+        for policy in ("data", "compute"):
+            m = machine(8)
+            _space, obj = make_counter_space(m)
+
+            def adder(node):
+                for _ in range(8):
+                    yield from obj.invoke(node, "add", (1,), policy=policy)
+
+            for node in range(1, 8):
+                m.processor(node).run_thread(adder(node))
+            m.run(max_events=10_000_000)
+            assert obj.read_field("count") == 56
+            cycles[policy] = m.sim.now
+        assert cycles["compute"] < cycles["data"]
+
+    def test_unknown_method(self):
+        m = machine()
+        _space, obj = make_counter_space(m)
+        with pytest.raises(KeyError):
+            list(obj.invoke(1, "nope"))
+
+    def test_bad_policy(self):
+        m = machine()
+        _space, obj = make_counter_space(m)
+        with pytest.raises(ValueError):
+            list(obj.invoke(1, "read", policy="bogus"))
+
+    def test_method_updating_unknown_field_rejected(self):
+        m = machine()
+        space = ObjectSpace(m)
+        obj = space.create(0, {"a": 1}, {"bad": lambda f: (None, {"zzz": 9})})
+        out = {}
+
+        def caller():
+            yield from obj.invoke(1, "bad", policy="data")
+
+        m.processor(1).run_thread(caller())
+        with pytest.raises(KeyError):
+            m.run()

@@ -1,0 +1,80 @@
+"""Tests for LimitLESS software traps charged to the home CPU."""
+
+from repro.machine import Machine, MachineConfig
+from repro.memory import AccessKind, CoherenceParams, make_addr
+from repro.proc import Compute, Yield
+
+
+def machine(on_cpu: bool, hw_pointers: int = 2, n: int = 16):
+    return Machine(
+        MachineConfig(
+            n_nodes=n,
+            dir_hw_pointers=hw_pointers,
+            coherence=CoherenceParams(
+                limitless_trap_on_cpu=on_cpu, trap_cycles=60
+            ),
+        )
+    )
+
+
+def overflow_line(m, readers=8):
+    """Make a line homed at node 0 overflow its hardware pointers."""
+    addr = make_addr(0, 0x100)
+    for reader in range(1, readers + 1):
+        m.coherence.access(reader, addr, AccessKind.READ, lambda: None)
+        m.run()
+    return addr
+
+
+class TestLimitlessCpuTraps:
+    def test_trap_steals_home_cpu_time(self):
+        """A thread computing on the home node is delayed by the
+        overflow handler's CPU time (the trap jumps the ready queue
+        at the thread's next scheduling point)."""
+        results = {}
+        for on_cpu in (False, True):
+            m = machine(on_cpu)
+            overflow_line(m)  # several traps already taken
+            done = []
+
+            def local_work():
+                for _ in range(10):
+                    yield Compute(10)
+                    yield Yield()  # scheduling points between chunks
+                done.append(m.sim.now)
+
+            t0 = m.sim.now
+            m.processor(0).run_thread(local_work())
+            # concurrently, another overflow access arrives
+            m.coherence.access(
+                9, make_addr(0, 0x100), AccessKind.WRITE, lambda: None
+            )
+            m.run()
+            results[on_cpu] = done[0] - t0
+        assert results[True] > results[False]
+
+    def test_trap_thread_visible_in_stats(self):
+        m = machine(True)
+        overflow_line(m)
+        # the home processor ran trap contexts
+        labels_ran = m.processor(0).stats.contexts_run
+        assert labels_ran > 0
+        assert m.nodes[0].directory.stats.software_traps > 0
+
+    def test_disabled_by_default(self):
+        m = Machine(MachineConfig(n_nodes=4))
+        assert m.coherence.on_software_trap is None
+
+    def test_remote_latency_unchanged_when_home_idle(self):
+        """With an idle home CPU the trap overlaps the port charge, so
+        requester-visible latency stays in the same ballpark."""
+        lat = {}
+        for on_cpu in (False, True):
+            m = machine(on_cpu)
+            addr = overflow_line(m)
+            done = []
+            t0 = m.sim.now
+            m.coherence.access(9, addr, AccessKind.WRITE, lambda: done.append(m.sim.now))
+            m.run()
+            lat[on_cpu] = done[0] - t0
+        assert abs(lat[True] - lat[False]) <= lat[False] * 0.5

@@ -1,0 +1,139 @@
+"""Tests for the MCS queue lock."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute, Load, Store
+from repro.runtime.mcs import MCSLock
+from repro.sim import SimulationError
+
+
+def machine(n=8):
+    return Machine(MachineConfig(n_nodes=n))
+
+
+def test_mutual_exclusion_counter():
+    m = machine()
+    lock = MCSLock(m)
+    counter = m.alloc(0, 8)
+
+    def worker(node, rounds):
+        for _ in range(rounds):
+            yield from lock.acquire(node)
+            v = yield Load(counter)
+            yield Compute(15)  # widen the race window
+            yield Store(counter, v + 1)
+            yield from lock.release(node)
+
+    for node in range(8):
+        m.processor(node).run_thread(worker(node, 6))
+    m.run()
+    assert m.store.read(counter) == 48
+
+
+def test_critical_sections_never_overlap():
+    m = machine(4)
+    lock = MCSLock(m)
+    intervals = []
+
+    def worker(node):
+        for _ in range(4):
+            yield from lock.acquire(node)
+            start = m.sim.now
+            yield Compute(25)
+            intervals.append((start, m.sim.now, node))
+            yield from lock.release(node)
+            yield Compute(7 + node)
+
+    for node in range(4):
+        m.processor(node).run_thread(worker(node))
+    m.run()
+    intervals.sort()
+    for (s1, e1, _), (s2, e2, _) in zip(intervals, intervals[1:]):
+        assert e1 <= s2, f"overlap: ({s1},{e1}) vs ({s2},{e2})"
+
+
+def test_uncontended_fast_path():
+    m = machine(2)
+    lock = MCSLock(m)
+    times = []
+
+    def solo():
+        yield from lock.acquire(0)
+        yield from lock.release(0)
+        t0 = m.sim.now
+        yield from lock.acquire(0)
+        times.append(m.sim.now - t0)
+        yield from lock.release(0)
+
+    m.processor(0).run_thread(solo())
+    m.run()
+    assert times[0] < 40
+
+
+def test_fifo_handoff_order():
+    """MCS grants the lock in arrival order."""
+    m = machine(4)
+    lock = MCSLock(m)
+    order = []
+
+    def worker(node, delay):
+        yield Compute(delay)
+        yield from lock.acquire(node)
+        order.append(node)
+        yield Compute(500)  # hold long enough that all others queue
+        yield from lock.release(node)
+
+    # staggered arrivals: 0 first, then 1, 2, 3
+    for node, delay in ((0, 0), (1, 100), (2, 200), (3, 300)):
+        m.processor(node).run_thread(worker(node, delay))
+    m.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_non_recursive_guard():
+    m = machine(2)
+    lock = MCSLock(m)
+
+    def bad():
+        yield from lock.acquire(0)
+        yield from lock.acquire(0)
+
+    m.processor(0).run_thread(bad())
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_release_without_hold_guard():
+    m = machine(2)
+    lock = MCSLock(m)
+
+    def bad():
+        yield from lock.release(1)
+
+    m.processor(1).run_thread(bad())
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+@given(st.integers(2, 6), st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_mutual_exclusion_property(n_workers, rounds):
+    m = machine(8)
+    lock = MCSLock(m)
+    counter = m.alloc(0, 8)
+
+    def worker(node):
+        for _ in range(rounds):
+            yield from lock.acquire(node)
+            v = yield Load(counter)
+            yield Compute(9)
+            yield Store(counter, v + 1)
+            yield from lock.release(node)
+
+    for node in range(n_workers):
+        m.processor(node).run_thread(worker(node))
+    m.run()
+    assert m.store.read(counter) == n_workers * rounds

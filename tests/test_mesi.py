@@ -1,0 +1,148 @@
+"""Tests for the MESI protocol option (exclusive-clean state)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.memory import AccessKind, CoherenceParams, DirState, LineState, make_addr
+from repro.proc import Compute, Load, Store
+
+
+def machine(mesi=True, n=4):
+    return Machine(
+        MachineConfig(n_nodes=n, coherence=CoherenceParams(mesi=mesi))
+    )
+
+
+def access(m, node, addr, kind):
+    done = []
+    m.coherence.access(node, addr, kind, lambda: done.append(m.sim.now))
+    start = m.sim.now
+    m.run()
+    return done[0] - start
+
+
+class TestMesiStates:
+    def test_sole_read_fills_exclusive(self):
+        m = machine()
+        addr = make_addr(1, 0x100)
+        access(m, 0, addr, AccessKind.READ)
+        assert m.nodes[0].cache.state(addr & ~15) is LineState.EXCLUSIVE
+        e = m.nodes[1].directory.peek(addr & ~15)
+        assert e.state is DirState.EXCLUSIVE and e.owner == 0
+
+    def test_second_reader_downgrades_to_shared(self):
+        m = machine()
+        addr = make_addr(1, 0x100)
+        line = addr & ~15
+        access(m, 0, addr, AccessKind.READ)
+        access(m, 2, addr, AccessKind.READ)
+        assert m.nodes[0].cache.state(line) is LineState.SHARED
+        assert m.nodes[2].cache.state(line) is LineState.SHARED
+
+    def test_store_to_exclusive_is_silent_upgrade(self):
+        m = machine()
+        addr = make_addr(1, 0x100)
+        line = addr & ~15
+        access(m, 0, addr, AccessKind.READ)
+        txns_before = m.coherence.stats.transactions
+        cost = access(m, 0, addr, AccessKind.WRITE)
+        assert m.coherence.stats.transactions == txns_before  # no new txn
+        assert cost == m.config.coherence.store_hit
+        assert m.nodes[0].cache.state(line) is LineState.MODIFIED
+
+    def test_msi_store_after_read_pays_transaction(self):
+        m = machine(mesi=False)
+        addr = make_addr(1, 0x100)
+        access(m, 0, addr, AccessKind.READ)
+        txns_before = m.coherence.stats.transactions
+        cost = access(m, 0, addr, AccessKind.WRITE)
+        assert m.coherence.stats.transactions == txns_before + 1
+        assert cost > m.config.coherence.store_hit
+
+    def test_remote_write_steals_exclusive_clean(self):
+        m = machine()
+        addr = make_addr(1, 0x100)
+        line = addr & ~15
+        access(m, 0, addr, AccessKind.READ)   # node 0 E
+        access(m, 2, addr, AccessKind.WRITE)
+        assert m.nodes[0].cache.state(line) is LineState.INVALID
+        assert m.nodes[2].cache.state(line) is LineState.MODIFIED
+
+    def test_read_of_exclusive_clean_line_forwards(self):
+        m = machine()
+        addr = make_addr(1, 0x100)
+        line = addr & ~15
+        access(m, 0, addr, AccessKind.READ)
+        access(m, 2, addr, AccessKind.READ)
+        e = m.nodes[1].directory.peek(line)
+        assert e.state is DirState.SHARED and e.sharers == {0, 2}
+
+
+class TestMesiIntegration:
+    def test_read_modify_write_pattern_cheaper_with_mesi(self):
+        """The private read-then-write pattern (e.g. popping your own
+        task queue) costs one transaction under MESI, two under MSI."""
+        costs = {}
+        for mesi in (False, True):
+            m = machine(mesi=mesi)
+            addr = m.alloc(1, 8)
+            box = []
+
+            def worker():
+                t0 = m.sim.now
+                v = yield Load(addr)
+                yield Store(addr, v + 1)
+                box.append(m.sim.now - t0)
+
+            m.processor(0).run_thread(worker())
+            m.run()
+            costs[mesi] = box[0]
+        assert costs[True] < costs[False]
+
+    def test_values_identical_under_both_protocols(self):
+        results = {}
+        for mesi in (False, True):
+            m = machine(mesi=mesi)
+            addr = m.alloc(0, 8)
+
+            def a():
+                yield Store(addr, 5)
+
+            def b():
+                yield Compute(500)
+                v = yield Load(addr)
+                yield Store(addr, v * 3)
+
+            m.processor(1).run_thread(a())
+            m.processor(2).run_thread(b())
+            m.run()
+            results[mesi] = m.store.read(addr)
+        assert results[False] == results[True] == 15
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                              st.sampled_from(["r", "w"])), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_mesi_swmr_property(self, ops):
+        m = machine(mesi=True)
+        kinds = {"r": AccessKind.READ, "w": AccessKind.WRITE}
+        for node, li, k in ops:
+            m.coherence.access(
+                node, make_addr(1, 0x100 + li * 16), kinds[k], lambda: None
+            )
+        m.run()
+        for li in range(4):
+            line = make_addr(1, 0x100 + li * 16)
+            exclusive = [
+                n for n in range(4)
+                if m.nodes[n].cache.state(line)
+                in (LineState.EXCLUSIVE, LineState.MODIFIED)
+            ]
+            shared = [
+                n for n in range(4)
+                if m.nodes[n].cache.state(line) is LineState.SHARED
+            ]
+            assert len(exclusive) <= 1
+            if exclusive:
+                assert not shared

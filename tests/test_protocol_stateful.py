@@ -1,0 +1,169 @@
+"""Model-based stateful testing of the coherence protocol.
+
+A hypothesis RuleBasedStateMachine drives random sequences of
+reads/writes/atomics/prefetches/DMA flushes from random nodes against
+a 4-node machine, quiescing between steps, and cross-checks the
+machine against a trivial sequential reference model:
+
+* values: every read must return exactly what the reference dict holds
+* protocol: single-writer/multiple-reader and directory agreement
+  invariants must hold at every quiescent point
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.machine import Machine, MachineConfig
+from repro.memory import AccessKind, DirState, LineState, make_addr
+from repro.proc import FetchOp, Load, Store
+
+N_NODES = 4
+N_SLOTS = 6  # distinct addresses (on 3 distinct cache lines x 2 homes)
+
+
+def _addr(slot: int) -> int:
+    home = 1 + (slot % 2)           # homes 1 and 2
+    line = slot // 2                # 3 lines per home
+    return make_addr(home, 0x100 + line * 16)
+
+
+class CoherenceMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.m = Machine(MachineConfig(n_nodes=N_NODES, cache_lines=4))
+        self.reference: dict[int, int] = {}
+        self.counter = 0
+
+    # ------------------------------------------------------------------
+    def _quiesce(self) -> None:
+        self.m.run(max_events=200_000)
+
+    # ------------------------------------------------------------------
+    @rule(node=st.integers(0, N_NODES - 1), slot=st.integers(0, N_SLOTS - 1))
+    def write(self, node, slot):
+        addr = _addr(slot)
+        self.counter += 1
+        value = self.counter
+
+        def thread():
+            yield Store(addr, value)
+
+        self.m.processor(node).run_thread(thread())
+        self.reference[addr] = value
+        self._quiesce()
+
+    @rule(node=st.integers(0, N_NODES - 1), slot=st.integers(0, N_SLOTS - 1))
+    def read(self, node, slot):
+        addr = _addr(slot)
+        got = []
+
+        def thread():
+            v = yield Load(addr)
+            got.append(v)
+
+        self.m.processor(node).run_thread(thread())
+        self._quiesce()
+        assert got == [self.reference.get(addr, 0)], (
+            f"node {node} read {got} at slot {slot}, "
+            f"expected {self.reference.get(addr, 0)}"
+        )
+
+    @rule(node=st.integers(0, N_NODES - 1), slot=st.integers(0, N_SLOTS - 1))
+    def atomic_increment(self, node, slot):
+        addr = _addr(slot)
+        old_box = []
+
+        def thread():
+            old = yield FetchOp(addr, lambda v: v + 1)
+            old_box.append(old)
+
+        self.m.processor(node).run_thread(thread())
+        expected_old = self.reference.get(addr, 0)
+        self.reference[addr] = expected_old + 1
+        self._quiesce()
+        assert old_box == [expected_old]
+
+    @rule(node=st.integers(0, N_NODES - 1), slot=st.integers(0, N_SLOTS - 1))
+    def prefetch(self, node, slot):
+        self.m.coherence.access(
+            node, _addr(slot), AccessKind.PREFETCH, lambda: None
+        )
+        self._quiesce()
+
+    @rule(slot=st.integers(0, N_SLOTS - 1))
+    def dma_flush_home(self, slot):
+        """Flush the line at its home (as a local DMA would)."""
+        addr = _addr(slot)
+        home = addr >> 32
+        self.m.coherence.dma_flush(home, addr, 16)
+        self._quiesce()
+
+    @rule(
+        writer=st.integers(0, N_NODES - 1),
+        reader=st.integers(0, N_NODES - 1),
+        slot=st.integers(0, N_SLOTS - 1),
+    )
+    def concurrent_write_read(self, writer, reader, slot):
+        """Issue a write and a read in the same cycle; the read must
+        return either the old or the new value, never garbage."""
+        addr = _addr(slot)
+        old = self.reference.get(addr, 0)
+        self.counter += 1
+        new = self.counter
+        got = []
+
+        def w():
+            yield Store(addr, new)
+
+        def r():
+            v = yield Load(addr)
+            got.append(v)
+
+        self.m.processor(writer).run_thread(w())
+        if reader != writer:
+            self.m.processor(reader).run_thread(r())
+        self.reference[addr] = new
+        self._quiesce()
+        if got:
+            assert got[0] in (old, new), f"torn read: {got[0]} not in {(old, new)}"
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def swmr_and_directory_agreement(self):
+        for slot in range(0, N_SLOTS):
+            addr = _addr(slot)
+            line = addr & ~15
+            home = addr >> 32
+            exclusive = [
+                n for n in range(N_NODES)
+                if self.m.nodes[n].cache.state(line)
+                in (LineState.MODIFIED, LineState.EXCLUSIVE)
+            ]
+            shared = [
+                n for n in range(N_NODES)
+                if self.m.nodes[n].cache.state(line) is LineState.SHARED
+            ]
+            entry = self.m.nodes[home].directory.peek(line)
+            assert len(exclusive) <= 1
+            if exclusive:
+                assert not shared
+                assert entry is not None
+                assert entry.state is DirState.EXCLUSIVE
+                assert entry.owner == exclusive[0]
+            if entry is not None and shared:
+                assert set(shared) <= entry.sharers
+
+    @invariant()
+    def no_stuck_transactions(self):
+        for node in range(N_NODES):
+            assert not self.m.coherence._mshr[node], (
+                f"MSHR not empty at quiescence: {self.m.coherence._mshr[node]}"
+            )
+        assert not self.m.coherence._line_busy
+
+
+TestCoherenceStateful = CoherenceMachine.TestCase
+TestCoherenceStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

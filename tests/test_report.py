@@ -1,0 +1,54 @@
+"""Tests for the machine statistics report."""
+
+from repro.analysis import collect
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute, Load, Send, Store
+
+
+def test_report_counts_traffic():
+    m = Machine(MachineConfig(n_nodes=4))
+    addr = m.alloc(1, 8)
+
+    def handler(msg):
+        yield Compute(1)
+
+    m.processor(2).register_handler("x", handler)
+
+    def worker():
+        yield Store(addr, 1)
+        yield Load(addr)
+        yield Send(2, "x", operands=(1,))
+
+    m.processor(0).run_thread(worker())
+    m.run()
+    rep = collect(m)
+    assert rep.cycles == m.sim.now
+    assert rep.transactions >= 1
+    assert rep.messages_sent == 1
+    assert rep.interrupts == 1
+    assert rep.software_packets >= 1
+    assert rep.protocol_packets >= 2
+    assert 0 <= rep.cache_hit_rate <= 1
+    assert len(rep.per_node) == 4
+
+
+def test_report_formats():
+    m = Machine(MachineConfig(n_nodes=2))
+    addr = m.alloc(1, 8)
+
+    def worker():
+        yield Store(addr, 5)
+
+    m.processor(0).run_thread(worker())
+    m.run()
+    text = collect(m).format()
+    assert "machine report" in text
+    assert "cache hit rate" in text
+    assert "LimitLESS traps" in text
+
+
+def test_report_on_idle_machine():
+    m = Machine(MachineConfig(n_nodes=2))
+    rep = collect(m)
+    assert rep.transactions == 0
+    assert rep.cache_hit_rate == 0.0

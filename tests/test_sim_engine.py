@@ -1,0 +1,187 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("b"))
+    sim.schedule(5, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 20
+
+
+def test_same_cycle_events_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule(7, lambda i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_zero_delay_allowed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0, lambda: fired.append(True))
+    sim.run()
+    assert fired == [True]
+    assert sim.now == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_fractional_delay_rounds_up():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [3]
+
+
+def test_schedule_at_absolute():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: sim.schedule_at(12, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [12]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    errors = []
+
+    def later():
+        try:
+            sim.schedule_at(1, lambda: None)
+        except SimulationError as e:
+            errors.append(e)
+
+    sim.schedule(10, later)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_cancel_event():
+    sim = Simulator()
+    fired = []
+    h = sim.schedule(5, lambda: fired.append(True))
+    h.cancel()
+    sim.run()
+    assert fired == []
+    assert h.cancelled
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run(until=50)
+    assert sim.now == 50
+    assert sim.pending == 1
+    sim.run()
+    assert sim.now == 100
+
+
+def test_run_until_exact_boundary_event_runs():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, lambda: fired.append(True))
+    sim.run(until=50)
+    assert fired == [True]
+
+
+def test_nested_scheduling_during_run():
+    sim = Simulator()
+    hits = []
+
+    def chain(n):
+        hits.append(sim.now)
+        if n > 0:
+            sim.schedule(3, lambda: chain(n - 1))
+
+    sim.schedule(0, lambda: chain(4))
+    sim.run()
+    assert hits == [0, 3, 6, 9, 12]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    count = []
+
+    def tick():
+        count.append(sim.now)
+        sim.schedule(1, tick)
+
+    sim.schedule(0, tick)
+    sim.run(stop_when=lambda: len(count) >= 5)
+    assert len(count) == 5
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+class TestResource:
+    def test_sequential_acquisitions_serialize(self):
+        sim = Simulator()
+        r = Resource(sim)
+        t1 = r.acquire(10)
+        t2 = r.acquire(5)
+        assert t1 == 10
+        assert t2 == 15
+
+    def test_acquire_after_idle_starts_now(self):
+        sim = Simulator()
+        r = Resource(sim)
+        r.acquire(3)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert r.acquire(4) == 104
+
+    def test_earliest_constraint(self):
+        sim = Simulator()
+        r = Resource(sim)
+        assert r.acquire(5, earliest=20) == 25
+
+    def test_earliest_before_busy_until_queues(self):
+        sim = Simulator()
+        r = Resource(sim)
+        r.acquire(30)
+        assert r.acquire(5, earliest=10) == 35
+
+    def test_negative_occupancy_rejected(self):
+        sim = Simulator()
+        r = Resource(sim)
+        with pytest.raises(SimulationError):
+            r.acquire(-1)
+
+    def test_total_busy_accounting(self):
+        sim = Simulator()
+        r = Resource(sim)
+        r.acquire(10)
+        r.acquire(7)
+        assert r.total_busy == 17

@@ -1,0 +1,90 @@
+"""Tests for the torus topology option."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.network.topology import Mesh2D, Torus2D
+from repro.params import NetworkParams
+from repro.proc import Load
+
+
+class TestTorus2D:
+    def test_wraparound_hops(self):
+        t = Torus2D(64)  # 8x8
+        assert t.hops(0, 7) == 1     # wrap in x
+        assert t.hops(0, 56) == 1    # wrap in y
+        assert t.hops(0, 63) == 2    # wrap both
+        assert t.hops(0, 36) == 8    # middle: no gain (4+4)
+
+    def test_route_length_matches_hops(self):
+        t = Torus2D(64)
+        for src, dst in [(0, 63), (5, 58), (0, 36), (7, 0), (9, 9)]:
+            assert len(t.route(src, dst)) == t.hops(src, dst)
+
+    def test_route_links_adjacent_on_torus(self):
+        t = Torus2D(16)
+        for src, dst in [(0, 15), (3, 12), (1, 14)]:
+            for a, b in t.route(src, dst):
+                assert t.hops(a, b) == 1
+
+    def test_diameter_nearly_halved_vs_mesh(self):
+        mesh, torus = Mesh2D(64), Torus2D(64)
+        mesh_diam = max(
+            mesh.hops(s, d) for s in range(64) for d in range(64)
+        )
+        torus_diam = max(
+            torus.hops(s, d) for s in range(64) for d in range(64)
+        )
+        assert mesh_diam == 14  # (8-1)*2
+        assert torus_diam == 8  # 2*(8//2)
+
+    def test_always_four_neighbors(self):
+        t = Torus2D(16)
+        for node in range(16):
+            assert len(t.neighbors(node)) == 4
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=50)
+    def test_torus_never_longer_than_mesh(self, src, dst):
+        mesh, torus = Mesh2D(64), Torus2D(64)
+        assert torus.hops(src, dst) <= mesh.hops(src, dst)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=50)
+    def test_route_connects_endpoints(self, src, dst):
+        t = Torus2D(64)
+        route = t.route(src, dst)
+        if src == dst:
+            assert route == []
+        else:
+            assert route[0][0] == src and route[-1][1] == dst
+
+
+class TestTorusMachine:
+    def test_config_selects_topology(self):
+        m = Machine(MachineConfig(n_nodes=16, network=NetworkParams(topology="torus")))
+        assert isinstance(m.mesh, Torus2D)
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParams(topology="hypercube")
+
+    def test_corner_to_corner_faster_on_torus(self):
+        def corner_read_latency(topology):
+            m = Machine(
+                MachineConfig(n_nodes=64, network=NetworkParams(topology=topology))
+            )
+            addr = m.alloc(63, 8)
+            box = []
+
+            def t():
+                yield Load(addr)
+                box.append(m.sim.now)
+
+            m.processor(0).run_thread(t())
+            m.run()
+            return box[0]
+
+        assert corner_read_latency("torus") < corner_read_latency("mesh")

@@ -1,0 +1,124 @@
+"""Tests for the execution tracer."""
+
+import json
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+from repro.proc import Compute, Load, Send, Store
+from repro.trace import Tracer
+
+
+def traced_machine(kinds=None):
+    m = Machine(MachineConfig(n_nodes=4))
+    tracer = Tracer(m, kinds=kinds)
+    return m, tracer
+
+
+def run_workload(m):
+    addr = m.alloc(1, 8)
+
+    def handler(msg):
+        yield Compute(1)
+
+    m.processor(2).register_handler("ping", handler)
+
+    def worker():
+        yield Store(addr, 7)
+        yield Load(addr)
+        yield Send(2, "ping", operands=(1,))
+
+    m.processor(0).run_thread(worker(), label="worker")
+    m.run()
+
+
+class TestTracer:
+    def test_records_all_kinds(self):
+        m, tracer = traced_machine()
+        run_workload(m)
+        kinds = {ev.kind for ev in tracer.events}
+        assert {"effect", "packet", "txn", "handler", "context"} <= kinds
+
+    def test_kind_filtering_at_attach(self):
+        m, tracer = traced_machine(kinds={"packet"})
+        run_workload(m)
+        assert tracer.events
+        assert all(ev.kind == "packet" for ev in tracer.events)
+
+    def test_unknown_kind_rejected(self):
+        m = Machine(MachineConfig(n_nodes=2))
+        with pytest.raises(ValueError):
+            Tracer(m, kinds={"bogus"})
+
+    def test_events_time_ordered(self):
+        m, tracer = traced_machine()
+        run_workload(m)
+        times = [ev.time for ev in tracer.events]
+        assert times == sorted(times)
+
+    def test_filter_by_node_and_window(self):
+        m, tracer = traced_machine()
+        run_workload(m)
+        n0 = tracer.filter(node=0)
+        assert n0 and all(ev.node == 0 for ev in n0)
+        early = tracer.filter(until=5)
+        assert all(ev.time <= 5 for ev in early)
+
+    def test_handler_event_names_message(self):
+        m, tracer = traced_machine(kinds={"handler"})
+        run_workload(m)
+        assert any(ev.what == "ping" for ev in tracer.events)
+
+    def test_timeline_renders(self):
+        m, tracer = traced_machine()
+        run_workload(m)
+        text = tracer.timeline(0)
+        assert "n0" in text
+
+    def test_timeline_empty_node(self):
+        m, tracer = traced_machine()
+        run_workload(m)
+        assert "no events" in tracer.timeline(3)
+
+    def test_summarize(self):
+        m, tracer = traced_machine()
+        run_workload(m)
+        text = tracer.summarize()
+        assert "trace:" in text and "packet" in text
+
+    def test_max_events_cap(self):
+        m = Machine(MachineConfig(n_nodes=4))
+        tracer = Tracer(m, max_events=3)
+        run_workload(m)
+        assert len(tracer.events) == 3
+        assert tracer.dropped > 0
+
+    def test_jsonl_export(self, tmp_path):
+        m, tracer = traced_machine(kinds={"packet"})
+        run_workload(m)
+        path = tmp_path / "trace.jsonl"
+        n = tracer.to_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == n
+        first = json.loads(lines[0])
+        assert {"time", "node", "kind", "what"} <= set(first)
+
+    def test_untraced_machine_behaves_identically(self):
+        """Tracing must not perturb simulated timing."""
+        def run(with_trace):
+            m = Machine(MachineConfig(n_nodes=4))
+            if with_trace:
+                Tracer(m)
+            addr = m.alloc(1, 8)
+            done = []
+
+            def worker():
+                yield Store(addr, 1)
+                v = yield Load(addr)
+                done.append((v, m.sim.now))
+
+            m.processor(0).run_thread(worker())
+            m.run()
+            return done[0]
+
+        assert run(False) == run(True)
