@@ -1,0 +1,29 @@
+"""Bench: reliable MP primitives under injected packet loss.
+
+Regenerates the fault-injection degradation table — the Fig. 7 bulk
+memcpy and the §4.2 MP barrier rerun in reliable mode (sequence
+numbers, acks, retransmission) at increasing drop rates — and checks
+the qualitative shape: lossless reliable runs pay no retries, lossy
+runs complete correctly but slow down monotonically-ish with loss.
+"""
+
+from repro.experiments import faults_exp
+
+
+def test_bench_faults(once):
+    res = once(faults_exp.run)
+    by_workload: dict[str, list[dict]] = {}
+    for r in res.rows:
+        by_workload.setdefault(r["workload"], []).append(r)
+    assert set(by_workload) == {"memcpy", "barrier"}
+    for rows in by_workload.values():
+        lossless = [r for r in rows if r["drop_pct"] == 0]
+        lossy = [r for r in rows if r["drop_pct"] > 0]
+        # no faults, no retries, unit slowdown on the clean fabric
+        assert all(r["retries"] == 0 and r["faults"] == 0 for r in lossless)
+        assert all(r["slowdown_x"] == 1 for r in lossless)
+        # every lossy run still completed (run() verifies data and
+        # barrier release internally) and never beat the clean run
+        assert all(r["slowdown_x"] >= 1 for r in lossy)
+        # the highest loss rate actually exercised the retry path
+        assert max(r["retries"] for r in lossy) > 0

@@ -28,6 +28,14 @@ Quick start::
     result, cycles = rt.run_to_completion(0, lambda rt, nd: tree(rt, nd, 8))
 """
 
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    LinkOutage,
+    NodeStall,
+    lossy_plan,
+)
 from repro.machine import Machine, MachineConfig
 from repro.params import CmmuParams, NetworkParams, ProcessorParams
 from repro.memory import CoherenceParams
@@ -47,6 +55,8 @@ from repro.runtime import (
     BulkTransfer,
     Future,
     MPTreeBarrier,
+    ReliableLayer,
+    ReliableParams,
     Runtime,
     RuntimeParams,
     SMTreeBarrier,
@@ -60,15 +70,22 @@ __all__ = [
     "CmmuParams",
     "CoherenceParams",
     "Compute",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRates",
     "FetchOp",
     "Future",
+    "LinkOutage",
     "Load",
     "MPTreeBarrier",
     "Machine",
     "MachineConfig",
     "NetworkParams",
+    "NodeStall",
     "Prefetch",
     "ProcessorParams",
+    "ReliableLayer",
+    "ReliableParams",
     "Runtime",
     "RuntimeParams",
     "SMTreeBarrier",
@@ -80,4 +97,5 @@ __all__ = [
     "Suspend",
     "Yield",
     "__version__",
+    "lossy_plan",
 ]

@@ -51,6 +51,10 @@ class MachineReport:
     contexts_run: int
     effects: int
     per_node: list[dict] = field(default_factory=list)
+    #: hottest links by busy cycles: [((a, b), busy_cycles), ...]
+    hot_links: list = field(default_factory=list)
+    #: injected faults (0 unless a FaultInjector was attached)
+    faults_injected: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -78,6 +82,13 @@ class MachineReport:
              "value": f"{self.handlers_run} / {self.contexts_run}"},
             {"metric": "effects executed", "value": self.effects},
         ]
+        if self.hot_links:
+            hot = ", ".join(
+                f"{a}->{b}:{busy}" for (a, b), busy in self.hot_links
+            )
+            rows.append({"metric": "hottest links (busy cyc)", "value": hot})
+        if self.faults_injected:
+            rows.append({"metric": "faults injected", "value": self.faults_injected})
         return format_table(
             f"machine report ({self.n_nodes} nodes)", ["metric", "value"], rows
         )
@@ -149,4 +160,10 @@ def collect(machine: Machine) -> MachineReport:
         contexts_run=totals["contexts"],
         effects=totals["effects"],
         per_node=per_node,
+        hot_links=sorted(
+            machine.network.link_utilization().items(),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )[:4],
+        faults_injected=net.faults_injected,
     )

@@ -26,10 +26,11 @@ QUICK_ARGS = {
     "fig9": dict(delays=(0, 1000), depth=9, n_nodes=16),
     "fig10": dict(tols=(3e-3, 1e-3), n_nodes=16),
     "fig11": dict(grid_sizes=(32, 64), n_nodes=16, iters=3),
+    "faults": dict(loss_rates=(0.0, 0.05), nbytes=512, n_nodes=16, episodes=2),
 }
 
 #: experiments that accept an ``n_nodes`` keyword
-NODES_KW = {"barrier": "n_nodes", "rti": "n_nodes", "fig9": "n_nodes", "fig10": "n_nodes", "fig11": "n_nodes"}
+NODES_KW = {"barrier": "n_nodes", "rti": "n_nodes", "fig9": "n_nodes", "fig10": "n_nodes", "fig11": "n_nodes", "faults": "n_nodes"}
 
 
 def plot_result(res: ExperimentResult) -> str | None:
@@ -56,6 +57,12 @@ def plot_result(res: ExperimentResult) -> str | None:
         return ascii_plot(
             series, logx=True, title=f"{res.title} — speedup vs problem size"
         )
+    if res.exp_id == "faults":
+        for r in res.rows:
+            series.setdefault(r["workload"], []).append((r["drop_pct"], r["cycles"]))
+        return ascii_plot(
+            series, title=f"{res.title} — cycles vs drop rate (%)"
+        )
     if res.exp_id == "fig11":
         for r in res.rows:
             side = int(r["grid"].split("x")[0])
@@ -69,7 +76,12 @@ def plot_result(res: ExperimentResult) -> str | None:
 
 
 def run_experiment(
-    exp_id: str, quick: bool = False, nodes: int | None = None, plot: bool = False
+    exp_id: str,
+    quick: bool = False,
+    nodes: int | None = None,
+    plot: bool = False,
+    fault_rate: float | None = None,
+    fault_seed: int | None = None,
 ) -> str:
     fn = ALL_EXPERIMENTS[exp_id]
     kwargs = dict(QUICK_ARGS[exp_id]) if quick else {}
@@ -78,6 +90,15 @@ def run_experiment(
         if kw is None:
             raise SystemExit(f"experiment {exp_id!r} does not take a node count")
         kwargs[kw] = nodes
+    if fault_rate is not None or fault_seed is not None:
+        if exp_id != "faults":
+            raise SystemExit(f"experiment {exp_id!r} does not take fault parameters")
+        if fault_rate is not None:
+            if not 0.0 <= fault_rate <= 1.0:
+                raise SystemExit(f"--fault-rate must be in [0, 1], got {fault_rate}")
+            kwargs["loss_rates"] = (0.0, fault_rate)
+        if fault_seed is not None:
+            kwargs["seed"] = fault_seed
     result = fn(**kwargs)
     out = result.format_table()
     if plot:
@@ -134,6 +155,15 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument("--quick", action="store_true", help="CI-sized parameters")
     runp.add_argument("--nodes", type=int, default=None, help="override machine size")
     runp.add_argument("--plot", action="store_true", help="render an ASCII figure too")
+    runp.add_argument(
+        "--fault-rate", type=float, default=None,
+        help="packet drop probability for the faults experiment "
+        "(runs loss rates 0 and this value)",
+    )
+    runp.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault-injection RNG seed for the faults experiment",
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -149,7 +179,16 @@ def main(argv: list[str] | None = None) -> int:
     targets = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:
         t0 = time.time()
-        print(run_experiment(exp_id, quick=args.quick, nodes=args.nodes, plot=args.plot))
+        print(
+            run_experiment(
+                exp_id,
+                quick=args.quick,
+                nodes=args.nodes,
+                plot=args.plot,
+                fault_rate=args.fault_rate,
+                fault_seed=args.fault_seed,
+            )
+        )
         print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")
     return 0
 

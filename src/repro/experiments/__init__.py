@@ -9,10 +9,12 @@
 | fig9    | grain speedup vs delay l                       |
 | fig10   | aq speedup vs problem size                     |
 | fig11   | jacobi cycles/iteration vs grid size           |
+| faults  | reliable MP primitives under packet loss       |
 """
 
 from repro.experiments import (
     barrier_exp,
+    faults_exp,
     fig7_memcpy,
     fig8_accum,
     fig9_grain,
@@ -29,11 +31,13 @@ ALL_EXPERIMENTS = {
     "fig9": fig9_grain.run,
     "fig10": fig10_aq.run,
     "fig11": fig11_jacobi.run,
+    "faults": faults_exp.run,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "barrier_exp",
+    "faults_exp",
     "fig7_memcpy",
     "fig8_accum",
     "fig9_grain",

@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the mesh fabric.
+
+The paper's message layer runs on raw, unprotected network access —
+reliability is software's job. This package supplies the adversary:
+seeded, reproducible packet faults (drop / duplicate / delay /
+reorder), link outages, and node stalls, injected at the
+``Network.send`` boundary of one machine. The matching software
+defence lives in ``repro.runtime.reliable``.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import (
+    SOFTWARE_KINDS,
+    FaultPlan,
+    FaultRates,
+    LinkOutage,
+    NodeStall,
+    lossy_plan,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRates",
+    "LinkOutage",
+    "NodeStall",
+    "SOFTWARE_KINDS",
+    "lossy_plan",
+]

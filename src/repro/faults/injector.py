@@ -1,0 +1,204 @@
+"""Seeded fault injection at the network boundary.
+
+The :class:`FaultInjector` wraps ``Network.send`` of *one machine*
+(same attach/detach contract as the tracer: an injected machine runs
+modified paths, every other machine runs the exact original code) and
+perturbs eligible packets according to a :class:`FaultPlan`:
+
+* **drop** — the packet vanishes at injection; nothing is delivered.
+* **duplicate** — the packet is delivered normally *and* a clone is
+  injected again a few cycles later.
+* **delay** — injection is postponed by a drawn number of cycles.
+* **reorder** — a short hold-back that lets later packets overtake.
+* **outage** — every eligible packet routed across a dead link during
+  its window is dropped (no randomness).
+* **stall** — a node's processor spins with interrupts masked for an
+  interval, so message handling backs up behind it.
+
+All randomness comes from one ``random.Random(plan.seed)`` stream
+drawn in simulator order, so identical plans reproduce identical
+fault schedules. Every injected fault is logged (and recorded as a
+``"fault"`` trace event when a tracer is attached) and counted on
+``NetworkStats``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan, FaultRates
+from repro.machine.machine import Machine
+from repro.network.packet import Packet
+from repro.trace.patch import PatchSet
+from repro.trace.tracer import Tracer
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, for post-mortem analysis."""
+
+    time: int
+    node: int          # packet source (or stalled node)
+    fault: str         # drop | duplicate | delay | reorder | outage | stall
+    detail: str = ""
+    pid: int = -1      # packet id (-1 for stalls)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one machine's fabric."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        plan: FaultPlan,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.tracer = tracer
+        self.rng = random.Random(plan.seed)
+        self.log: list[FaultEvent] = []
+        self._patches = PatchSet()
+        self._stall_handles: list = []
+        self.attach()
+
+    # ------------------------------------------------------------------
+    # Attach / detach (tracer contract)
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        return self._patches.active
+
+    def attach(self) -> None:
+        if self.attached:
+            raise RuntimeError("fault injector is already attached")
+        self._patches.patch(self.machine.network, "send", self._make_faulty_send)
+        sim = self.machine.sim
+        for stall in self.plan.stalls:
+            handle = sim.schedule(
+                max(0, stall.start - sim.now),
+                lambda stall=stall: self._begin_stall(stall),
+            )
+            self._stall_handles.append(handle)
+
+    def detach(self) -> None:
+        """Restore the pristine send path; pending stall triggers are
+        cancelled (faults already in flight still land)."""
+        self._patches.restore()
+        for handle in self._stall_handles:
+            handle.cancel()
+        self._stall_handles.clear()
+
+    def __enter__(self) -> FaultInjector:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def _record(self, node: int, fault: str, detail: str, pid: int = -1) -> None:
+        self.log.append(
+            FaultEvent(self.machine.sim.now, node, fault, detail, pid)
+        )
+        if self.tracer is not None:
+            self.tracer.record(node, "fault", fault, detail)
+
+    def _roll(self, rates: FaultRates) -> str | None:
+        """One fate draw against ``rates`` (fixed category order)."""
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            p = getattr(rates, name)
+            if p and self.rng.random() < p:
+                return name
+        return None
+
+    def _make_faulty_send(self, orig_send):
+        plan = self.plan
+        net = self.machine.network
+        sim = self.machine.sim
+
+        def faulty_send(packet: Packet) -> int:
+            if not plan.eligible(packet.kind):
+                return orig_send(packet)
+            route = (
+                net.mesh.route(packet.src, packet.dst)
+                if packet.src != packet.dst
+                else []
+            )
+            dead = plan.dead_link(route, sim.now)
+            if dead is not None:
+                net.stats.outage_drops += 1
+                self._record(
+                    packet.src, "outage",
+                    f"{packet.kind.value}->{packet.dst} on link {dead[0]}->{dead[1]}",
+                    packet.pid,
+                )
+                return sim.now  # lost: nothing arrives
+            fate = self._roll(plan.rates_for(packet.kind))
+            if fate is None:
+                for link in route:
+                    extra = plan.link_rates.get(link)
+                    if extra is not None:
+                        fate = self._roll(extra)
+                        if fate is not None:
+                            break
+            if fate is None:
+                return orig_send(packet)
+            what = f"{packet.kind.value}->{packet.dst}"
+            if fate == "drop":
+                net.stats.dropped += 1
+                self._record(packet.src, "drop", what, packet.pid)
+                return sim.now  # lost: nothing arrives
+            if fate == "duplicate":
+                net.stats.duplicated += 1
+                lag = self.rng.randint(*plan.duplicate_lag)
+                clone = Packet(
+                    src=packet.src,
+                    dst=packet.dst,
+                    kind=packet.kind,
+                    size_words=packet.size_words,
+                    payload=packet.payload,
+                    cycles_per_word_override=packet.cycles_per_word_override,
+                )
+                self._record(
+                    packet.src, "duplicate", f"{what} +{lag}cyc", packet.pid
+                )
+                sim.schedule(lag, lambda: orig_send(clone))
+                return orig_send(packet)
+            # delay and reorder are both hold-backs; they differ in scale
+            if fate == "delay":
+                hold = self.rng.randint(*plan.delay_range)
+                net.stats.delayed += 1
+            else:
+                hold = self.rng.randint(*plan.reorder_range)
+                net.stats.reordered += 1
+            self._record(packet.src, fate, f"{what} +{hold}cyc", packet.pid)
+            sim.schedule(hold, lambda: orig_send(packet))
+            return sim.now + hold  # injection time; real arrival is later
+
+        return faulty_send
+
+    # ------------------------------------------------------------------
+    def _begin_stall(self, stall) -> None:
+        from repro.proc.effects import Compute, SetIMask
+
+        self.machine.network.stats.stalls += 1
+        self._record(stall.node, "stall", f"{stall.duration}cyc")
+
+        def stall_body():
+            yield SetIMask(True)
+            yield Compute(stall.duration)
+            yield SetIMask(False)
+
+        self.machine.processor(stall.node).run_thread(
+            stall_body(), label=f"fault-stall@{stall.node}", front=True
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        s = self.machine.network.stats
+        return (
+            f"faults: {s.faults_injected} injected "
+            f"(drop={s.dropped} dup={s.duplicated} delay={s.delayed} "
+            f"reorder={s.reordered} outage={s.outage_drops} stalls={s.stalls})"
+        )

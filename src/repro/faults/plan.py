@@ -1,0 +1,154 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` describes *what can go wrong* on the fabric:
+per-packet fault probabilities (drop / duplicate / delay / reorder),
+optionally overridden per directed link or per packet kind, plus timed
+link-outage windows and node stall intervals. The plan carries the
+seed of the ``random.Random`` stream that the
+:class:`~repro.faults.injector.FaultInjector` draws from, so two runs
+with the same plan produce the *identical* fault schedule — faults are
+part of the experiment, not noise.
+
+By default only software packets (``USER_MESSAGE``, ``DMA_TRANSFER``)
+are eligible: the cache-coherence protocol assumes a reliable fabric
+(as Alewife's hardware did), while the message layer owns its own
+reliability (``repro.runtime.reliable``), mirroring the paper's
+raw-network contract. Widening ``kinds`` to protocol traffic is
+allowed but will deadlock coherence transactions under loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.packet import PROTOCOL_KINDS, PacketKind
+
+#: packet kinds whose delivery is software's problem, not hardware's
+SOFTWARE_KINDS = frozenset(
+    {PacketKind.USER_MESSAGE, PacketKind.DMA_TRANSFER}
+)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-packet fault probabilities (independent Bernoulli draws,
+    evaluated in the fixed order drop, duplicate, delay, reorder; the
+    first firing fate wins)."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {p}")
+
+    @property
+    def any(self) -> bool:
+        return bool(self.drop or self.duplicate or self.delay or self.reorder)
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """Directed link ``a -> b`` is dead during ``[start, end)``:
+    every eligible packet routed across it in the window is lost."""
+
+    a: int
+    b: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"outage window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """Node ``node`` goes unresponsive for ``duration`` cycles
+    starting at ``start``: its processor spins with message interrupts
+    masked, so arrived messages sit in the input queue until the stall
+    ends (models GC pauses, OS jitter, a wedged handler)."""
+
+    node: int
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(
+                f"stall needs start >= 0 and duration > 0, "
+                f"got start={self.start} duration={self.duration}"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A complete, seeded description of fabric misbehaviour."""
+
+    #: default per-packet rates (applied once per eligible packet)
+    rates: FaultRates = field(default_factory=FaultRates)
+    #: per-directed-link overrides: an eligible packet whose route
+    #: crosses link ``(a, b)`` additionally rolls against these rates
+    link_rates: dict[tuple[int, int], FaultRates] = field(default_factory=dict)
+    #: per-kind overrides: replace ``rates`` entirely for that kind
+    kind_rates: dict[PacketKind, FaultRates] = field(default_factory=dict)
+    #: dead-link windows (checked before any probabilistic fault)
+    outages: list[LinkOutage] = field(default_factory=list)
+    #: node unresponsiveness intervals
+    stalls: list[NodeStall] = field(default_factory=list)
+    #: packet kinds eligible for injection (default: software traffic)
+    kinds: frozenset[PacketKind] = SOFTWARE_KINDS
+    #: extra in-flight cycles for a delay fault, drawn uniformly
+    delay_range: tuple[int, int] = (20, 400)
+    #: hold-back cycles for a reorder fault (short, so only packets
+    #: launched close together overtake each other)
+    reorder_range: tuple[int, int] = (1, 60)
+    #: lag before a duplicate's second copy is injected
+    duplicate_lag: tuple[int, int] = (1, 40)
+    #: seed of the fault schedule's private random stream
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.kinds = frozenset(self.kinds)
+        for lo, hi in (self.delay_range, self.reorder_range, self.duplicate_lag):
+            if lo < 1 or hi < lo:
+                raise ValueError(f"cycle range must satisfy 1 <= lo <= hi, got ({lo}, {hi})")
+        risky = self.kinds & PROTOCOL_KINDS
+        if risky and (self.rates.any or self.link_rates or self.kind_rates or self.outages):
+            # allowed (that is the experiment some people want) but loud
+            import warnings
+
+            warnings.warn(
+                "FaultPlan targets coherence-protocol packets; the protocol "
+                "has no retry layer and will deadlock under loss",
+                stacklevel=2,
+            )
+
+    # ------------------------------------------------------------------
+    def rates_for(self, kind: PacketKind) -> FaultRates:
+        return self.kind_rates.get(kind, self.rates)
+
+    def eligible(self, kind: PacketKind) -> bool:
+        return kind in self.kinds
+
+    def dead_link(self, route: list[tuple[int, int]], now: int) -> tuple[int, int] | None:
+        """First dead link on ``route`` at time ``now``, if any."""
+        if not self.outages:
+            return None
+        for a, b in route:
+            for o in self.outages:
+                if o.a == a and o.b == b and o.start <= now < o.end:
+                    return (a, b)
+        return None
+
+
+def lossy_plan(drop: float, seed: int = 0, **kw) -> FaultPlan:
+    """Convenience: a plan that drops software packets at rate ``drop``."""
+    return FaultPlan(rates=FaultRates(drop=drop), seed=seed, **kw)

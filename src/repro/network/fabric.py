@@ -28,16 +28,50 @@ DeliverFn = Callable[[Packet], None]
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters.
+
+    The fault counters are bumped by an attached
+    :class:`~repro.faults.FaultInjector`; they stay zero on a healthy
+    fabric.
+    """
 
     packets: int = 0
     words: int = 0
     by_kind: Counter = field(default_factory=Counter)
     total_latency: int = 0
+    # fault injection (see repro.faults)
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    outage_drops: int = 0
+    stalls: int = 0
 
     @property
     def mean_latency(self) -> float:
         return self.total_latency / self.packets if self.packets else 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected fault events of every kind."""
+        return (
+            self.dropped + self.duplicated + self.delayed
+            + self.reordered + self.outage_drops + self.stalls
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. after warm-up, before the measured
+        phase of an experiment)."""
+        self.packets = 0
+        self.words = 0
+        self.by_kind.clear()
+        self.total_latency = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.outage_drops = 0
+        self.stalls = 0
 
 
 class Network:

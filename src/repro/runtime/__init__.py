@@ -5,6 +5,7 @@ from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
 from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
 from repro.runtime.mcs import MCSLock
 from repro.runtime.reduce import MPTreeReduce, SMTreeReduce
+from repro.runtime.reliable import ReliableLayer, ReliableParams, ReliableStats
 from repro.runtime.rt import Runtime, RuntimeParams
 from repro.runtime.sync import Future, SpinLock, fetch_increment
 from repro.runtime.task import Task, TaskState
@@ -15,6 +16,9 @@ __all__ = [
     "MCSLock",
     "MPTreeBarrier",
     "MPTreeReduce",
+    "ReliableLayer",
+    "ReliableParams",
+    "ReliableStats",
     "Runtime",
     "RuntimeParams",
     "SMTreeBarrier",

@@ -22,6 +22,7 @@ from typing import Generator
 
 from repro.machine.machine import Machine
 from repro.proc.effects import Compute, Load, Send, Store, Suspend
+from repro.runtime.reliable import ReliableLayer
 
 MSG_BAR_ARRIVE = "bar.arrive"
 MSG_BAR_RELEASE = "bar.release"
@@ -108,11 +109,15 @@ class MPTreeBarrier:
         fanout: int = 8,
         arrive_cost: int = 16,
         release_cost: int = 10,
+        reliable: ReliableLayer | None = None,
     ) -> None:
         if fanout < 2:
             raise ValueError(f"fanout must be >= 2, got {fanout}")
         self.machine = rt_machine
         self.fanout = fanout
+        #: with a ReliableLayer, arrive/release events survive packet
+        #: loss (a lost arrival would otherwise hang the whole episode)
+        self.reliable = reliable
         #: handler bookkeeping costs (count/check/lookup work a real
         #: barrier handler performs per event)
         self.arrive_cost = arrive_cost
@@ -127,9 +132,19 @@ class MPTreeBarrier:
         self._waiters: list[dict[int, list]] = [dict() for _ in range(n)]
         self._episode: list[int] = [0] * n
         for p in range(n):
-            proc = rt_machine.processor(p)
-            proc.register_handler(MSG_BAR_ARRIVE, self._make_arrive_handler(p))
-            proc.register_handler(MSG_BAR_RELEASE, self._make_release_handler(p))
+            if reliable is not None:
+                reliable.register_handler(p, MSG_BAR_ARRIVE, self._make_arrive_handler(p))
+                reliable.register_handler(p, MSG_BAR_RELEASE, self._make_release_handler(p))
+            else:
+                proc = rt_machine.processor(p)
+                proc.register_handler(MSG_BAR_ARRIVE, self._make_arrive_handler(p))
+                proc.register_handler(MSG_BAR_RELEASE, self._make_release_handler(p))
+
+    def _send(self, src: int, dst: int, mtype: str, operands) -> Generator:
+        if self.reliable is None:
+            yield Send(dst, mtype, operands=operands)
+        else:
+            yield from self.reliable.send(src, dst, mtype, operands)
 
     # ------------------------------------------------------------------
     def leader_of(self, node: int) -> int:
@@ -167,7 +182,7 @@ class MPTreeBarrier:
         if node == 0:
             yield from self._release(0, episode)
         else:
-            yield Send(0, MSG_BAR_ARRIVE, operands=(episode,))
+            yield from self._send(node, 0, MSG_BAR_ARRIVE, (episode,))
 
     def _leader_local_arrived(self, node: int, episode: int) -> bool:
         return self._episode[node] >= episode
@@ -181,7 +196,7 @@ class MPTreeBarrier:
         if node == 0:
             for leader in self.leaders:
                 if leader != 0:
-                    yield Send(leader, MSG_BAR_RELEASE, operands=(episode,))
+                    yield from self._send(0, leader, MSG_BAR_RELEASE, (episode,))
             yield from self._fan_release_group(0, episode)
         else:
             yield from self._fan_release_group(node, episode)
@@ -189,7 +204,7 @@ class MPTreeBarrier:
     def _fan_release_group(self, leader: int, episode: int) -> Generator:
         n = self.machine.n_nodes
         for member in range(leader + 1, min(leader + self.group_size, n)):
-            yield Send(member, MSG_BAR_RELEASE, operands=(episode,))
+            yield from self._send(leader, member, MSG_BAR_RELEASE, (episode,))
 
     def _make_release_handler(self, node: int):
         def handler(msg) -> Generator:
@@ -216,7 +231,7 @@ class MPTreeBarrier:
             yield Compute(self.arrive_cost // 2)
             yield from self._maybe_advance(node, episode)
         else:
-            yield Send(leader, MSG_BAR_ARRIVE, operands=(episode,))
+            yield from self._send(node, leader, MSG_BAR_ARRIVE, (episode,))
         if episode in self._released[node]:
             self._released[node].discard(episode)
             return

@@ -24,7 +24,9 @@ from typing import Generator
 from repro.cmmu.message import BlockRef
 from repro.machine.machine import Machine
 from repro.proc.effects import Compute, Load, Prefetch, Send, Store, Storeback
+from repro.runtime.reliable import ReliableLayer
 from repro.runtime.sync import Future
+from repro.sim.engine import SimulationError
 
 MSG_BULK = "bulk.xfer"
 MSG_BULK_ACK = "bulk.ack"
@@ -64,10 +66,20 @@ class BulkTransfer:
     Registers a handler on every node; :meth:`send` may be called from
     any thread (or handler) on the source node. The destination
     handler scatters the data with a storeback and optionally acks.
+
+    With ``reliable`` set, both the data message and the completion
+    ack travel through the :class:`ReliableLayer` (sequence numbers,
+    acks, retransmission), so the copy runs to completion on a lossy
+    fabric; :meth:`send` then needs ``src_node`` to bind retransmit
+    timers to the sending processor.
     """
 
     def __init__(
-        self, machine: Machine, send_sw_cost: int = 100, recv_sw_cost: int = 100
+        self,
+        machine: Machine,
+        send_sw_cost: int = 100,
+        recv_sw_cost: int = 100,
+        reliable: ReliableLayer | None = None,
     ) -> None:
         self.machine = machine
         #: software library overhead around the raw hardware interface
@@ -76,14 +88,27 @@ class BulkTransfer:
         #: small-block numbers (~360 cycles + streaming)
         self.send_sw_cost = send_sw_cost
         self.recv_sw_cost = recv_sw_cost
+        self.reliable = reliable
         #: sender-side completion futures: copy_id -> Future
         self._acks: dict[int, Future] = {}
         #: receiver-side notification futures: copy_id -> Future
         self._arrivals: dict[int, Future] = {}
-        for node in range(machine.n_nodes):
-            proc = machine.processor(node)
-            proc.register_handler(MSG_BULK, self._handle_bulk)
-            proc.register_handler(MSG_BULK_ACK, self._handle_ack)
+        if reliable is not None:
+            reliable.register_everywhere(MSG_BULK, self._handle_bulk)
+            reliable.register_everywhere(MSG_BULK_ACK, self._handle_ack)
+        else:
+            for node in range(machine.n_nodes):
+                proc = machine.processor(node)
+                proc.register_handler(MSG_BULK, self._handle_bulk)
+                proc.register_handler(MSG_BULK_ACK, self._handle_ack)
+
+    def _send(
+        self, src: int | None, dst: int, mtype: str, operands=(), blocks=None
+    ) -> Generator:
+        if self.reliable is None:
+            yield Send(dst, mtype, operands=operands, blocks=blocks or [])
+        else:
+            yield from self.reliable.send(src, dst, mtype, operands, blocks)
 
     # ------------------------------------------------------------------
     def arrival_future(self, copy_id: int) -> Future:
@@ -102,15 +127,20 @@ class BulkTransfer:
         nbytes: int,
         wait_ack: bool = False,
         copy_id: int | None = None,
+        src_node: int | None = None,
     ) -> Generator:
         """``yield from bulk.send(...)`` from the source processor.
 
         Returns the copy id. With ``wait_ack`` the caller blocks until
-        the destination acknowledges the storeback.
+        the destination acknowledges the storeback. In reliable mode
+        ``src_node`` (the node this generator runs on) is required.
         """
+        if self.reliable is not None and src_node is None:
+            raise SimulationError("reliable bulk transfer needs src_node")
         cid = self.new_copy_id() if copy_id is None else copy_id
         yield Compute(self.send_sw_cost)
-        yield Send(
+        yield from self._send(
+            src_node,
             dst_node,
             MSG_BULK,
             operands=(dst_addr, cid, 1 if wait_ack else 0),
@@ -128,7 +158,8 @@ class BulkTransfer:
         yield Compute(self.recv_sw_cost)
         yield Storeback(dst_addr)
         if want_ack:
-            yield Send(msg.src, MSG_BULK_ACK, operands=(cid,))
+            # the handler runs on the destination node (== msg.dst)
+            yield from self._send(msg.dst, msg.src, MSG_BULK_ACK, operands=(cid,))
         fut = self._arrivals.setdefault(cid, Future())
         fut.resolve(None)
 

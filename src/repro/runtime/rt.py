@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from repro.machine.machine import Machine
+from repro.runtime.reliable import ReliableLayer
 from repro.runtime.scheduler.base import NodeScheduler
 from repro.runtime.scheduler.hybrid import (
     MSG_STEAL_REPLY,
@@ -84,12 +85,18 @@ class Runtime:
         scheduler: str = "hybrid",
         params: RuntimeParams | None = None,
         seed: int = 0,
+        reliable: ReliableLayer | None = None,
     ) -> None:
         self.machine = machine
         self.sim = machine.sim
         self.p = params or RuntimeParams()
         self.seed = seed
         self.kind = scheduler
+        #: with a ReliableLayer, the hybrid scheduler's messages (steal
+        #: request/reply, task migration, remote invocation) survive
+        #: packet loss; the shared-memory scheduler needs no such layer
+        #: (coherence traffic is hardware-reliable)
+        self.reliable = reliable
         self.tasks: dict[int, Task] = {}
         self.done = False
         if scheduler == "hybrid":
@@ -105,9 +112,16 @@ class Runtime:
             proc = machine.processor(node)
             proc.idle_hook = sched.idle_step
             if isinstance(sched, HybridScheduler):
-                proc.register_handler(MSG_STEAL_REQ, sched.handle_steal_req)
-                proc.register_handler(MSG_STEAL_REPLY, sched.handle_steal_reply)
-                proc.register_handler(MSG_TASK, sched.handle_task)
+                handlers = (
+                    (MSG_STEAL_REQ, sched.handle_steal_req),
+                    (MSG_STEAL_REPLY, sched.handle_steal_reply),
+                    (MSG_TASK, sched.handle_task),
+                )
+                for mtype, fn in handlers:
+                    if reliable is not None:
+                        reliable.register_handler(node, mtype, fn)
+                    else:
+                        proc.register_handler(mtype, fn)
             proc.kick()  # start the idle loop (work stealing) everywhere
 
     # ------------------------------------------------------------------
@@ -145,7 +159,12 @@ class Runtime:
         return value
 
     def spawn_to(
-        self, dest: int, factory: TaskFactory, label: str = "", pinned: bool = True
+        self,
+        dest: int,
+        factory: TaskFactory,
+        label: str = "",
+        pinned: bool = True,
+        src: int | None = None,
     ) -> Generator:
         """Remote thread invocation (§4.3): place a new task on
         ``dest``'s queue using the scheduler's mechanism (shared-memory
@@ -153,11 +172,17 @@ class Runtime:
         the *invoker* is free as soon as this generator returns. The
         task is pinned to ``dest`` by default (it is an invocation of a
         thread *on that processor*, not load-balancing fodder).
+
+        In reliable mode, ``src`` (the invoking node) is required: the
+        retransmit timer of the invocation message must be bound to the
+        invoker's processor.
         """
+        if self.reliable is not None and src is None:
+            raise SimulationError("reliable spawn_to needs src (the invoking node)")
         task = self.make_task(factory, home=dest, label=label, pinned=pinned)
         # The mechanism is uniform across nodes; for "sm" the shared-
         # memory queue operations still execute on the caller's CPU.
-        yield from self.schedulers[dest].remote_push(dest, task)
+        yield from self.schedulers[dest].remote_push(dest, task, src=src)
         return task.future
 
     # ------------------------------------------------------------------

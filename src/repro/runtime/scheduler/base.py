@@ -48,9 +48,10 @@ class NodeScheduler(abc.ABC):
         """Try to steal the oldest task of ``victim``; returns Task|None."""
 
     @abc.abstractmethod
-    def remote_push(self, dest: int, task: Task) -> Generator:
+    def remote_push(self, dest: int, task: Task, src: int | None = None) -> Generator:
         """Remote thread invocation: place ``task`` on ``dest``'s queue
-        (the §4.3 primitive). Runs on the *invoking* processor."""
+        (the §4.3 primitive). Runs on the *invoking* processor;
+        ``src`` names the invoking node (needed in reliable mode)."""
 
     @abc.abstractmethod
     def queue_length(self) -> int:

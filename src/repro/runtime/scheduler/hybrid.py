@@ -16,7 +16,7 @@ import itertools
 from collections import deque
 from typing import Generator
 
-from repro.proc.effects import Compute, Send
+from repro.proc.effects import Compute, Send, Yield as YieldEffect
 from repro.runtime.scheduler.base import NodeScheduler
 from repro.runtime.task import Task, TaskState
 
@@ -37,6 +37,15 @@ class HybridScheduler(NodeScheduler):
         #: outstanding steal requests: req_id -> reply box (the thief
         #: spins on the box so it never has two steals in flight)
         self._pending_steals: dict[int, dict] = {}
+
+    def _send(self, src: int, dst: int, mtype: str, operands) -> Generator:
+        """One scheduler message: raw, or via the runtime's
+        ReliableLayer when one is installed (a lost steal reply would
+        otherwise spin the thief forever)."""
+        if self.rt.reliable is None:
+            yield Send(dst, mtype, operands=operands)
+        else:
+            yield from self.rt.reliable.send(src, dst, mtype, operands)
 
     # ------------------------------------------------------------------
     # Queue mechanism: plain local operations, no locks
@@ -76,9 +85,14 @@ class HybridScheduler(NodeScheduler):
         req_id = next(_req_ids)
         box: dict[str, int] = {}
         self._pending_steals[req_id] = box
-        yield Send(victim, MSG_STEAL_REQ, operands=(self.node, req_id))
+        yield from self._send(self.node, victim, MSG_STEAL_REQ, (self.node, req_id))
         while "tid" not in box:
             yield Compute(4)  # poll; the reply handler interrupts us
+            if self.rt.reliable is not None:
+                # in reliable mode the pipeline must rotate: a dropped
+                # request is re-sent by a retransmit *thread* on this
+                # very node, and an unbroken spin would starve it
+                yield YieldEffect()
         del self._pending_steals[req_id]
         tid = box["tid"]
         if tid == 0:
@@ -88,13 +102,13 @@ class HybridScheduler(NodeScheduler):
         # already RUNNING-claimed by the victim's handler
         return task
 
-    def remote_push(self, dest: int, task: Task) -> Generator:
+    def remote_push(self, dest: int, task: Task, src: int | None = None) -> Generator:
         """One message bundles synchronization and data (§2.2/§4.3):
         thread pointer and arguments marshalled into the descriptor's
         operand words, unpacked and enqueued atomically by the
         receiver's handler."""
         yield Compute(self.rt.p.remote_invoke_marshal)
-        yield Send(dest, MSG_TASK, operands=(task.tid, 0, 0, 0))
+        yield from self._send(src, dest, MSG_TASK, (task.tid, 0, 0, 0))
 
     def poll_work(self) -> Generator:
         if False:  # pragma: no cover - makes this a generator
@@ -109,12 +123,12 @@ class HybridScheduler(NodeScheduler):
         if not self._deque:
             # fast path: empty queue, cheap negative reply
             yield Compute(2)
-            yield Send(thief, MSG_STEAL_REPLY, operands=(req_id, 0))
+            yield from self._send(self.node, thief, MSG_STEAL_REPLY, (req_id, 0))
             return
         yield Compute(self.rt.p.steal_handler_cost)
         task = self.pop_oldest_nowait()
         tid = task.tid if task is not None else 0
-        yield Send(thief, MSG_STEAL_REPLY, operands=(req_id, tid))
+        yield from self._send(self.node, thief, MSG_STEAL_REPLY, (req_id, tid))
 
     def handle_steal_reply(self, msg) -> Generator:
         req_id, tid = msg.operands

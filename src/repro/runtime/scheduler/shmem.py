@@ -166,10 +166,11 @@ class ShmemScheduler(NodeScheduler):
             yield from self.queue.push(tid)
         return first
 
-    def remote_push(self, dest: int, task: Task) -> Generator:
+    def remote_push(self, dest: int, task: Task, src: int | None = None) -> Generator:
         """§4.3's shared-memory remote thread invocation: lock the
         remote queue, write the entry, unlock — every step a remote
-        memory transaction."""
+        memory transaction. (``src`` is unused: coherence traffic is
+        hardware-reliable.)"""
         dq = self.rt.schedulers[dest].queue
         yield from dq.push(task.tid)
 

@@ -186,11 +186,16 @@ class Resource:
         """Reserve the resource for ``occupancy`` cycles.
 
         ``earliest`` is the first cycle the work could start (defaults
-        to now). Returns the completion cycle.
+        to now; values in the past clamp to now — a resource cannot
+        retroactively have been busy). Returns the completion cycle.
         """
         if occupancy < 0:
             raise SimulationError(f"negative occupancy {occupancy!r}")
-        start = max(self.busy_until, self.sim.now if earliest is None else earliest)
+        start = max(
+            self.busy_until,
+            self.sim.now,
+            self.sim.now if earliest is None else earliest,
+        )
         self.busy_until = start + occupancy
         self.total_busy += occupancy
         return self.busy_until

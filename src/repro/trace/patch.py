@@ -1,0 +1,61 @@
+"""Reversible instance-level monkey patching.
+
+The tracer and the fault injector share one instrumentation contract:
+they wrap methods *of one machine's component instances* so that an
+instrumented machine runs modified paths while every other machine in
+the process runs the exact original code. :class:`PatchSet` records
+each installed wrapper so the whole set can be removed again, leaving
+the instances in their pristine state (the wrapped attribute is
+deleted, not overwritten, when the original lived on the class).
+
+Wrappers from several PatchSets may stack on the same attribute; they
+must then be removed in LIFO order, which :meth:`restore` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class PatchSet:
+    """A group of instance-attribute patches that detach together."""
+
+    def __init__(self) -> None:
+        #: (obj, name, had_instance_attr, original, wrapper) per patch
+        self._patches: list[tuple[Any, str, bool, Any, Any]] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._patches)
+
+    def patch(self, obj: Any, name: str, make_wrapper: Callable[[Any], Any]) -> Any:
+        """Replace ``obj.name`` with ``make_wrapper(original)``.
+
+        Returns the wrapper. The original may be a bound method (class
+        level) or an instance attribute; both restore correctly.
+        """
+        original = getattr(obj, name)
+        had_instance_attr = name in vars(obj)
+        wrapper = make_wrapper(original)
+        setattr(obj, name, wrapper)
+        self._patches.append((obj, name, had_instance_attr, original, wrapper))
+        return wrapper
+
+    def restore(self) -> None:
+        """Remove every patch (idempotent).
+
+        Raises ``RuntimeError`` if someone else wrapped an attribute
+        on top of ours and has not detached yet — removing out of
+        order would silently orphan their wrapper.
+        """
+        for obj, name, had_instance_attr, original, wrapper in reversed(self._patches):
+            if getattr(obj, name) is not wrapper:
+                raise RuntimeError(
+                    f"cannot restore {type(obj).__name__}.{name}: another "
+                    "wrapper was attached on top (detach in LIFO order)"
+                )
+            if had_instance_attr:
+                setattr(obj, name, original)
+            else:
+                delattr(obj, name)
+        self._patches.clear()

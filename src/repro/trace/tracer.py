@@ -6,12 +6,18 @@ message-handler entries — for post-mortem analysis of an experiment
 (the simulator-side equivalent of Alewife's hardware event probes).
 
 The tracer wraps the relevant methods *of that machine's component
-instances only*; an untraced machine runs exactly the original code.
+instances only*; an untraced machine runs exactly the original code,
+and :meth:`Tracer.detach` removes the wrappers again so the machine
+can be re-used untraced (``with Tracer(m) as t: ...`` detaches
+automatically).
 
     tracer = Tracer(machine, kinds={"packet", "handler"})
     ... run ...
     print(tracer.summarize())
     tracer.to_jsonl("run.jsonl")
+
+The ``"fault"`` kind is recorded by an attached
+:class:`~repro.faults.FaultInjector`, not by the tracer's own wrappers.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from dataclasses import asdict, dataclass
 from typing import Iterable
 
 from repro.machine.machine import Machine
+from repro.trace.patch import PatchSet
 
-ALL_KINDS = frozenset({"effect", "packet", "txn", "handler", "context"})
+ALL_KINDS = frozenset({"effect", "packet", "txn", "handler", "context", "fault"})
 
 
 @dataclass
@@ -57,7 +64,8 @@ class Tracer:
         self.max_events = max_events
         self.events: list[TraceEvent] = []
         self.dropped = 0
-        self._attach()
+        self._patches = PatchSet()
+        self.attach()
 
     # ------------------------------------------------------------------
     def record(self, node: int, kind: str, what: str, detail: str = "") -> None:
@@ -70,31 +78,40 @@ class Tracer:
             TraceEvent(self.machine.sim.now, node, kind, what, detail)
         )
 
-    def _attach(self) -> None:
+    @property
+    def attached(self) -> bool:
+        return self._patches.active
+
+    def attach(self) -> None:
+        """Install the method wrappers (done by ``__init__``)."""
+        if self.attached:
+            raise RuntimeError("tracer is already attached")
         m = self.machine
         if "packet" in self.kinds:
-            orig_send = m.network.send
+            def make_traced_send(orig_send):
+                def traced_send(packet):
+                    self.record(
+                        packet.src, "packet", packet.kind.value,
+                        f"->{packet.dst} {packet.size_words}w",
+                    )
+                    return orig_send(packet)
 
-            def traced_send(packet):
-                self.record(
-                    packet.src, "packet", packet.kind.value,
-                    f"->{packet.dst} {packet.size_words}w",
-                )
-                return orig_send(packet)
+                return traced_send
 
-            m.network.send = traced_send
+            self._patches.patch(m.network, "send", make_traced_send)
         if "txn" in self.kinds:
-            orig_access = m.coherence.access
+            def make_traced_access(orig_access):
+                def traced_access(node, addr, kind, on_done):
+                    self.record(node, "txn", kind.value, f"@{addr:#x}")
+                    return orig_access(node, addr, kind, on_done)
 
-            def traced_access(node, addr, kind, on_done):
-                self.record(node, "txn", kind.value, f"@{addr:#x}")
-                return orig_access(node, addr, kind, on_done)
+                return traced_access
 
-            m.coherence.access = traced_access
+            self._patches.patch(m.coherence, "access", make_traced_access)
         for node_obj in m.nodes:
             proc = node_obj.processor
             if "effect" in self.kinds:
-                def make_traced_execute(proc, orig):
+                def make_traced_execute(orig, proc=proc):
                     def traced(ctx, eff):
                         self.record(
                             proc.node, "effect", type(eff).__name__, ctx.label
@@ -103,9 +120,9 @@ class Tracer:
 
                     return traced
 
-                proc._execute = make_traced_execute(proc, proc._execute)
+                self._patches.patch(proc, "_execute", make_traced_execute)
             if "handler" in self.kinds:
-                def make_traced_enter(proc, orig):
+                def make_traced_enter(orig, proc=proc):
                     def traced():
                         if proc.cmmu.in_queue:
                             msg = proc.cmmu.in_queue[0]
@@ -116,16 +133,27 @@ class Tracer:
 
                     return traced
 
-                proc._enter_handler = make_traced_enter(proc, proc._enter_handler)
+                self._patches.patch(proc, "_enter_handler", make_traced_enter)
             if "context" in self.kinds:
-                def make_traced_run(proc, orig):
+                def make_traced_run(orig, proc=proc):
                     def traced(gen, on_finish=None, label="", front=False):
                         self.record(proc.node, "context", "spawn", label)
                         return orig(gen, on_finish=on_finish, label=label, front=front)
 
                     return traced
 
-                proc.run_thread = make_traced_run(proc, proc.run_thread)
+                self._patches.patch(proc, "run_thread", make_traced_run)
+
+    def detach(self) -> None:
+        """Remove the wrappers; the machine runs the original code
+        again. Recorded events stay available. Idempotent."""
+        self._patches.restore()
+
+    def __enter__(self) -> Tracer:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
     # ------------------------------------------------------------------
     # Queries and rendering

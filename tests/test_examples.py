@@ -17,6 +17,7 @@ CASES = {
     "custom_machine.py": ["default Alewife", "MP barrier"],
     "shared_objects.py": ["winner", "move-the-data"],
     "latency_tolerance.py": ["blocking loads", "hardware contexts"],
+    "lossy_memcpy.py": ["data ok: True", "fault trace", "slowdown"],
 }
 
 

@@ -18,7 +18,7 @@ from repro.experiments import (
 
 def test_registry_complete():
     assert set(ALL_EXPERIMENTS) == {
-        "barrier", "rti", "fig7", "fig8", "fig9", "fig10", "fig11"
+        "barrier", "rti", "fig7", "fig8", "fig9", "fig10", "fig11", "faults"
     }
 
 
@@ -91,3 +91,17 @@ class TestFig11:
         # validate=True is exercised inside run(); a numerics bug would raise
         res = fig11_jacobi.run(grid_sizes=(16,), n_nodes=4, iters=2)
         assert res.rows
+
+
+class TestFaultsExp:
+    def test_reduced_faults(self):
+        from repro.experiments import faults_exp
+
+        res = faults_exp.run(
+            loss_rates=(0.0, 0.05), nbytes=512, n_nodes=16, episodes=2, seed=1
+        )
+        assert {r["workload"] for r in res.rows} == {"memcpy", "barrier"}
+        clean = [r for r in res.rows if r["drop_pct"] == 0]
+        assert all(r["retries"] == 0 and r["slowdown_x"] == 1 for r in clean)
+        lossy = [r for r in res.rows if r["drop_pct"] > 0]
+        assert all(r["slowdown_x"] >= 1 for r in lossy)

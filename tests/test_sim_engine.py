@@ -137,6 +137,42 @@ def test_stop_when_predicate():
     assert len(count) == 5
 
 
+def test_cancel_already_fired_event():
+    sim = Simulator()
+    fired = []
+    h = sim.schedule(5, lambda: fired.append(True))
+    sim.run()
+    assert fired == [True]
+    h.cancel()  # idempotent no-op after firing
+    sim.run()
+    assert fired == [True]
+
+
+def test_schedule_at_exactly_now_fires_same_cycle():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: sim.schedule_at(10, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [10]
+    assert sim.now == 10
+
+
+def test_stop_when_on_final_event_keeps_event_time():
+    sim = Simulator()
+    hits = []
+
+    def tick():
+        hits.append(sim.now)
+
+    sim.schedule(5, tick)
+    sim.schedule(9, tick)
+    # the predicate turns true on the very last event: the clock must
+    # rest at that event's time, not jump ahead to ``until``
+    sim.run(until=500, stop_when=lambda: len(hits) >= 2)
+    assert hits == [5, 9]
+    assert sim.now == 9
+
+
 def test_events_processed_counter():
     sim = Simulator()
     for i in range(7):
@@ -172,6 +208,15 @@ class TestResource:
         r = Resource(sim)
         r.acquire(30)
         assert r.acquire(5, earliest=10) == 35
+
+    def test_earliest_in_the_past_clamps_to_now(self):
+        sim = Simulator()
+        r = Resource(sim)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        # free resource, stale earliest: occupancy starts now, and the
+        # completion time never lands in the past
+        assert r.acquire(5, earliest=10) == 105
 
     def test_negative_occupancy_rejected(self):
         sim = Simulator()

@@ -122,3 +122,50 @@ class TestTracer:
             return done[0]
 
         assert run(False) == run(True)
+
+
+class TestAttachDetach:
+    def test_detach_stops_recording(self):
+        m, tracer = traced_machine()
+        tracer.detach()
+        assert not tracer.attached
+        run_workload(m)
+        assert tracer.events == []
+
+    def test_detach_restores_original_methods(self):
+        m = Machine(MachineConfig(n_nodes=4))
+        send_before = m.network.send
+        tracer = Tracer(m)
+        assert m.network.send != send_before  # wrapped (instance attr)
+        tracer.detach()
+        # the wrapper instance attribute is gone; lookup falls back to
+        # the pristine class method again
+        assert "send" not in m.network.__dict__
+        assert m.network.send == send_before
+
+    def test_reattach_records_again(self):
+        m, tracer = traced_machine()
+        tracer.detach()
+        tracer.attach()
+        run_workload(m)
+        assert tracer.events
+
+    def test_double_attach_rejected(self):
+        m, tracer = traced_machine()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+
+    def test_context_manager_detaches(self):
+        m = Machine(MachineConfig(n_nodes=4))
+        with Tracer(m, kinds={"packet"}) as tracer:
+            run_workload(m)
+        assert not tracer.attached
+        packets = len(tracer.events)
+        assert packets > 0
+        # outside the with-block: more traffic, nothing recorded
+        def again():
+            yield Send(2, "ping", operands=(2,))
+
+        m.processor(0).run_thread(again())
+        m.run()
+        assert len(tracer.events) == packets
