@@ -12,22 +12,38 @@ combining shortens the tree).
 
 from repro.analysis.tables import ExperimentResult
 from repro.experiments.barrier_exp import measure_barrier
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
 
 
-def run_ablation(arities=(2, 4, 8), fanouts=(2, 4, 8, 16)) -> ExperimentResult:
+def measure_shape(mechanism: str, param: int) -> int:
+    """One sweep point: barrier latency for a tree shape (picklable)."""
+    if mechanism == "shared-memory":
+        return measure_barrier(lambda m: SMTreeBarrier(m, arity=param))
+    return measure_barrier(lambda m: MPTreeBarrier(m, fanout=param))
+
+
+def sweep(arities=(2, 4, 8), fanouts=(2, 4, 8, 16)) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_barrier:measure_shape",
+                   {"mechanism": mech, "param": p})
+        for mech, params in (("shared-memory", arities), ("message-passing", fanouts))
+        for p in params
+    ]
+
+
+def run_ablation(arities=(2, 4, 8), fanouts=(2, 4, 8, 16), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-barrier",
         title="Ablation: combining-tree shape, 64 processors",
         columns=["mechanism", "shape", "cycles"],
         notes="paper chose SM arity 2 and MP fanout 8",
     )
-    for arity in arities:
-        cycles = measure_barrier(lambda m, a=arity: SMTreeBarrier(m, arity=a))
-        res.add(mechanism="shared-memory", shape=f"{arity}-ary", cycles=cycles)
-    for fanout in fanouts:
-        cycles = measure_barrier(lambda m, f=fanout: MPTreeBarrier(m, fanout=f))
-        res.add(mechanism="message-passing", shape=f"fanout {fanout}", cycles=cycles)
+    points = sweep(arities, fanouts)
+    for point, cycles in zip(points, SweepRunner(jobs).map(points)):
+        mech, p = point.kwargs["mechanism"], point.kwargs["param"]
+        shape = f"{p}-ary" if mech == "shared-memory" else f"fanout {p}"
+        res.add(mechanism=mech, shape=shape, cycles=cycles)
     return res
 
 

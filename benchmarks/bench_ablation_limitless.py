@@ -10,6 +10,7 @@ from repro.analysis.tables import ExperimentResult
 from repro.machine import Machine, MachineConfig
 from repro.memory import AccessKind, make_addr
 from repro.memory.coherence import CoherenceParams
+from repro.perf.sweep import SweepPoint, SweepRunner
 
 
 def _invalidation_cost(hw_pointers: int, n_sharers: int = 16) -> tuple[int, int]:
@@ -34,16 +35,24 @@ def _invalidation_cost(hw_pointers: int, n_sharers: int = 16) -> tuple[int, int]
     return done[0] - t0, m.nodes[0].directory.stats.software_traps - traps_before
 
 
-def run_ablation(pointer_counts=(1, 2, 5, 8, 16)) -> ExperimentResult:
+def sweep(pointer_counts=(1, 2, 5, 8, 16)) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_limitless:_invalidation_cost", {"hw_pointers": hw})
+        for hw in pointer_counts
+    ]
+
+
+def run_ablation(pointer_counts=(1, 2, 5, 8, 16), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-limitless",
         title="Ablation: LimitLESS hardware pointer count (16 sharers)",
         columns=["hw_pointers", "write_inv_cycles", "software_traps"],
         notes="write to a line shared by 16 readers; traps when sharers exceed pointers",
     )
-    for hw in pointer_counts:
-        cycles, traps = _invalidation_cost(hw)
-        res.add(hw_pointers=hw, write_inv_cycles=cycles, software_traps=traps)
+    points = sweep(pointer_counts)
+    for point, (cycles, traps) in zip(points, SweepRunner(jobs).map(points)):
+        res.add(hw_pointers=point.kwargs["hw_pointers"],
+                write_inv_cycles=cycles, software_traps=traps)
     return res
 
 

@@ -17,6 +17,7 @@ from repro.machine import Machine, MachineConfig
 from repro.proc import Compute, Load, Store
 from repro.runtime import SpinLock
 from repro.runtime.mcs import MCSLock
+from repro.perf.sweep import SweepPoint, SweepRunner
 
 ROUNDS = 6
 CS_WORK = 20
@@ -64,7 +65,16 @@ def _contend(lock_kind: str, n_contenders: int) -> tuple[int, float]:
     return m.sim.now, unfairness
 
 
-def run_ablation(contenders=(1, 8, 16)) -> ExperimentResult:
+def sweep(contenders=(1, 8, 16)) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_locks:_contend",
+                   {"lock_kind": kind, "n_contenders": n})
+        for n in contenders
+        for kind in ("ttas", "mcs")
+    ]
+
+
+def run_ablation(contenders=(1, 8, 16), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-locks",
         title="Ablation: TTAS vs MCS lock (6 critical sections each)",
@@ -77,9 +87,12 @@ def run_ablation(contenders=(1, 8, 16)) -> ExperimentResult:
         ],
         notes="worst/mean acquisition latency measures fairness",
     )
+    points = sweep(contenders)
+    measured = dict(zip(((p.kwargs["n_contenders"], p.kwargs["lock_kind"]) for p in points),
+                        SweepRunner(jobs).map(points)))
     for n in contenders:
-        t_cycles, t_unfair = _contend("ttas", n)
-        m_cycles, m_unfair = _contend("mcs", n)
+        t_cycles, t_unfair = measured[(n, "ttas")]
+        m_cycles, m_unfair = measured[(n, "mcs")]
         res.add(
             contenders=n,
             ttas_cycles=t_cycles,

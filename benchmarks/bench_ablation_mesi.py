@@ -11,6 +11,7 @@ from repro.analysis.tables import ExperimentResult
 from repro.apps.grain import grain_parallel, sequential_cycles
 from repro.machine import Machine, MachineConfig
 from repro.memory import CoherenceParams
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.runtime import Runtime
 
 
@@ -25,16 +26,27 @@ def _grain_speedup(kind: str, mesi: bool, depth: int = 11, delay: int = 0) -> fl
     return sequential_cycles(depth, delay) / cycles
 
 
-def run_ablation() -> ExperimentResult:
+def sweep() -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_mesi:_grain_speedup", {"kind": kind, "mesi": mesi})
+        for mesi in (False, True)
+        for kind in ("sm", "hybrid")
+    ]
+
+
+def run_ablation(jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-mesi",
         title="Ablation: MSI vs MESI (grain n=11, l=0, 64 procs)",
         columns=["protocol", "speedup_sm", "speedup_hybrid", "hybrid_over_sm"],
         notes="MESI helps the queue-heavy SM runtime more than the hybrid one",
     )
+    points = sweep()
+    measured = dict(zip(((p.kwargs["mesi"], p.kwargs["kind"]) for p in points),
+                        SweepRunner(jobs).map(points)))
     for name, mesi in (("MSI (paper-like)", False), ("MESI", True)):
-        sm = _grain_speedup("sm", mesi)
-        hy = _grain_speedup("hybrid", mesi)
+        sm = measured[(mesi, "sm")]
+        hy = measured[(mesi, "hybrid")]
         res.add(
             protocol=name,
             speedup_sm=round(sm, 1),

@@ -12,6 +12,7 @@ from repro.analysis.tables import ExperimentResult
 from repro.experiments.common import make_machine, run_thread_timed
 from repro.experiments.fig7_memcpy import _measure_sm
 from repro.runtime.bulk import BulkTransfer, copy_no_prefetch
+from repro.perf.sweep import SweepPoint, SweepRunner
 
 SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
 
@@ -43,16 +44,28 @@ def crossover(sw_cost: int) -> int | None:
     return None
 
 
-def run_ablation(costs=(0, 50, 100, 200, 400)) -> ExperimentResult:
+def measure_cost_point(sw_cost: int) -> tuple:
+    """One sweep point: (crossover block size or None, MP cycles at 4 KB)."""
+    return crossover(sw_cost), _mp_cycles(4096, sw_cost)
+
+
+def sweep(costs=(0, 50, 100, 200, 400)) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_msg_overhead:measure_cost_point", {"sw_cost": c})
+        for c in costs
+    ]
+
+
+def run_ablation(costs=(0, 50, 100, 200, 400), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-msg-overhead",
         title="Ablation: per-message software cost vs SM/MP copy crossover",
         columns=["sw_cost_cycles", "crossover_bytes", "mp_4k_MB_per_s"],
         notes="crossover = smallest block where the single-message copy wins",
     )
-    for cost in costs:
-        xo = crossover(cost)
-        mp4k = _mp_cycles(4096, cost)
+    points = sweep(costs)
+    for point, (xo, mp4k) in zip(points, SweepRunner(jobs).map(points)):
+        cost = point.kwargs["sw_cost"]
         res.add(
             sw_cost_cycles=cost,
             crossover_bytes=xo if xo is not None else ">4096",

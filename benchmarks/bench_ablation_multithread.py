@@ -11,6 +11,7 @@ sweeps the context count.
 from repro.analysis.tables import ExperimentResult
 from repro.machine import Machine, MachineConfig
 from repro.params import ProcessorParams
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.proc import Compute, Load
 
 THREADS = 4
@@ -46,7 +47,14 @@ def _run(hw_contexts: int) -> tuple[int, int]:
     return m.sim.now, m.processor(0).stats.miss_switches
 
 
-def run_ablation(context_counts=(1, 2, 4, 8)) -> ExperimentResult:
+def sweep(context_counts=(1, 2, 4, 8)) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_multithread:_run", {"hw_contexts": hw})
+        for hw in context_counts
+    ]
+
+
+def run_ablation(context_counts=(1, 2, 4, 8), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-multithread",
         title=f"Ablation: Sparcle hardware contexts ({THREADS} miss-bound threads)",
@@ -54,8 +62,9 @@ def run_ablation(context_counts=(1, 2, 4, 8)) -> ExperimentResult:
         notes="remote-miss latency hidden by fast context switching",
     )
     base = None
-    for hw in context_counts:
-        cycles, switches = _run(hw)
+    points = sweep(context_counts)
+    for point, (cycles, switches) in zip(points, SweepRunner(jobs).map(points)):
+        hw = point.kwargs["hw_contexts"]
         if base is None:
             base = cycles
         res.add(

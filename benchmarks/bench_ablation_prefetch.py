@@ -10,6 +10,7 @@ from typing import Generator
 from repro.analysis.tables import ExperimentResult
 from repro.apps.accum import ADD_COST, fill_array
 from repro.experiments.common import make_machine, run_thread_timed
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.proc.effects import Compute, Load, Prefetch
 
 
@@ -44,15 +45,20 @@ def _measure(depth: int, nbytes: int = 4096) -> int:
     return cycles
 
 
-def run_ablation(depths=(0, 1, 2, 4, 8)) -> ExperimentResult:
+def sweep(depths=(0, 1, 2, 4, 8)) -> list[SweepPoint]:
+    return [SweepPoint("bench_ablation_prefetch:_measure", {"depth": d}) for d in depths]
+
+
+def run_ablation(depths=(0, 1, 2, 4, 8), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-prefetch",
         title="Ablation: prefetch depth in SM accum (4 KB remote array)",
         columns=["depth_blocks", "cycles"],
         notes="depth 0 = no prefetching; paper's loop uses depth 1",
     )
-    for d in depths:
-        res.add(depth_blocks=d, cycles=_measure(d))
+    points = sweep(depths)
+    for point, cycles in zip(points, SweepRunner(jobs).map(points)):
+        res.add(depth_blocks=point.kwargs["depth"], cycles=cycles)
     return res
 
 

@@ -10,6 +10,7 @@ from repro.analysis.tables import ExperimentResult
 from repro.apps.grain import grain_parallel, sequential_cycles
 from repro.experiments.common import make_machine
 from repro.runtime.rt import Runtime, RuntimeParams
+from repro.perf.sweep import SweepPoint, SweepRunner
 
 POLICIES = (
     ("aggressive (25/100)", 25, 100),
@@ -28,15 +29,23 @@ def _speedup(initial: int, cap: int, delay: int = 0, depth: int = 11) -> float:
     return sequential_cycles(depth, delay) / cycles
 
 
-def run_ablation() -> ExperimentResult:
+def sweep(policies=POLICIES) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_steal:_speedup", {"initial": i, "cap": c})
+        for _name, i, c in policies
+    ]
+
+
+def run_ablation(jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-steal",
         title="Ablation: hybrid steal backoff policy (grain, l=0, n=11)",
         columns=["policy", "speedup"],
         notes="fine-grained grain on 64 processors",
     )
-    for name, initial, cap in POLICIES:
-        res.add(policy=name, speedup=round(_speedup(initial, cap), 1))
+    points = sweep()
+    for (name, _i, _c), speedup in zip(POLICIES, SweepRunner(jobs).map(points)):
+        res.add(policy=name, speedup=round(speedup, 1))
     return res
 
 

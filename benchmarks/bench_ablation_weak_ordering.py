@@ -14,6 +14,7 @@ from repro.experiments.fig7_memcpy import _measure_mp
 from repro.machine import Machine, MachineConfig
 from repro.params import ProcessorParams
 from repro.proc import Compute, Fence, Load, Store
+from repro.perf.sweep import SweepPoint, SweepRunner
 
 NBYTES = 4096
 
@@ -49,16 +50,25 @@ def _copy_cycles(store_buffer_depth: int) -> int:
     return box[0]
 
 
-def run_ablation(depths=(0, 2, 4, 8, 16)) -> ExperimentResult:
+def sweep(depths=(0, 2, 4, 8, 16)) -> list[SweepPoint]:
+    return [
+        SweepPoint("bench_ablation_weak_ordering:_copy_cycles",
+                   {"store_buffer_depth": d})
+        for d in depths
+    ]
+
+
+def run_ablation(depths=(0, 2, 4, 8, 16), jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="ablation-weak-ordering",
         title=f"Ablation: store-buffer depth on the {NBYTES}-byte push copy",
         columns=["depth", "cycles", "MB_per_s"],
         notes="depth 0 = sequentially-consistent blocking stores (paper default)",
     )
-    for d in depths:
-        cycles = _copy_cycles(d)
-        res.add(depth=d, cycles=cycles, MB_per_s=round(mbytes_per_sec(NBYTES, cycles), 1))
+    points = sweep(depths)
+    for point, cycles in zip(points, SweepRunner(jobs).map(points)):
+        res.add(depth=point.kwargs["store_buffer_depth"], cycles=cycles,
+                MB_per_s=round(mbytes_per_sec(NBYTES, cycles), 1))
     return res
 
 

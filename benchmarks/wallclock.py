@@ -1,0 +1,293 @@
+"""Wall-clock benchmark harness: how fast does the simulator run on the host?
+
+Three measurements, written to ``BENCH_wallclock.json`` at the repo
+root so every PR leaves a perf trajectory behind:
+
+1. **Engine micro-bench** — events/sec pumping a synthetic event mix
+   through the current engine *and* through a faithful replica of the
+   pre-optimization engine (``@dataclass(order=True)`` heap entries).
+   Comparing both on the same host in the same process isolates the
+   engine speedup from machine noise.
+2. **Workload events/sec** — a fixed jacobi + memcpy + barrier
+   workload through the full machine model (coherence, network,
+   processors), reporting simulator events per wall-clock second.
+3. **Sweep wall time** — the full experiment sweep end-to-end at
+   ``--jobs 1`` vs ``--jobs N`` through the parallel SweepRunner.
+
+CI regression gate::
+
+    python benchmarks/wallclock.py --check BENCH_wallclock.json
+
+re-measures (1) and (2) and exits non-zero if workload events/sec
+fell more than 25% below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import ALL_EXPERIMENTS  # noqa: E402
+from repro.perf.sweep import default_jobs  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+#: same trimmed parameterizations the CLI's --quick uses
+from repro.cli import QUICK_ARGS  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# 1. Engine micro-bench (current engine vs pre-PR replica)
+# ----------------------------------------------------------------------
+@dataclass(order=True)
+class _LegacyEvent:
+    time: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class LegacySimulator:
+    """Faithful replica of the pre-optimization event loop: dataclass
+    heap entries (ordered via ``__lt__`` dispatch), ceil arithmetic on
+    every delay, no due-lane. Kept here as the micro-bench yardstick."""
+
+    def __init__(self) -> None:
+        self._queue: list[_LegacyEvent] = []
+        self._seq = 0
+        self.now = 0
+        self.events_processed = 0
+
+    def schedule(self, delay, fn):
+        when = self.now + int(-(-delay // 1))
+        ev = _LegacyEvent(when, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def run(self) -> None:
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn()
+
+
+def _pump(sim, schedule, n_events: int) -> float:
+    """Drive ``n_events`` through 32 interleaved delay-varying chains;
+    returns events/sec. The delay pattern mixes same-cycle, short and
+    longer delays the way the machine model does."""
+    count = [0]
+
+    def tick(d: int) -> None:
+        count[0] += 1
+        if count[0] < n_events:
+            schedule(d, lambda: tick((d % 7) + 1))
+
+    for i in range(32):
+        schedule(i % 5, lambda i=i: tick((i % 7) + 1))
+    t0 = time.perf_counter()
+    sim.run()
+    return sim.events_processed / (time.perf_counter() - t0)
+
+
+def engine_microbench(n_events: int = 300_000, repeats: int = 3) -> dict:
+    best_new = best_legacy = 0.0
+    for _ in range(repeats):
+        sim = Simulator()
+        best_new = max(best_new, _pump(sim, sim.call_after, n_events))
+        legacy = LegacySimulator()
+        best_legacy = max(best_legacy, _pump(legacy, legacy.schedule, n_events))
+    return {
+        "events": n_events,
+        "events_per_sec": round(best_new),
+        "legacy_events_per_sec": round(best_legacy),
+        "speedup_vs_legacy": round(best_new / best_legacy, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Fixed workload events/sec (full machine model)
+# ----------------------------------------------------------------------
+def _wl_jacobi() -> int:
+    from repro.apps.jacobi import JacobiApp
+    from repro.experiments.common import make_machine
+
+    events = 0
+    for mode in ("sm", "mp"):
+        m = make_machine(16)
+        JacobiApp(m, grid_size=64, iters=4, mode=mode).run()
+        events += m.sim.events_processed
+    return events
+
+
+def _wl_memcpy() -> int:
+    from repro.experiments.common import make_machine, run_thread_timed
+    from repro.proc.effects import Load
+    from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
+
+    nbytes = 4096
+    events = 0
+    for copier in (copy_no_prefetch, copy_prefetch):
+        m = make_machine(4)
+        src = m.alloc(0, nbytes)
+        dst = m.alloc(1, nbytes)
+        for i in range(nbytes // 8):
+            m.store.write(src + i * 8, i)
+
+        def bench(m=m, src=src, dst=dst, copier=copier):
+            for i in range(nbytes // 8):
+                yield Load(src + i * 8)
+            yield from copier(src, dst, nbytes)
+
+        run_thread_timed(m, bench())
+        events += m.sim.events_processed
+    m = make_machine(4)
+    bulk = BulkTransfer(m)
+    src = m.alloc(0, nbytes)
+    dst = m.alloc(1, nbytes)
+
+    def mp_bench():
+        yield from bulk.send(1, src, dst, nbytes, wait_ack=True)
+
+    run_thread_timed(m, mp_bench())
+    return events + m.sim.events_processed
+
+
+def _wl_barrier() -> int:
+    from repro.experiments.common import make_machine
+    from repro.proc.effects import Compute
+    from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
+
+    events = 0
+    for make in (lambda m: SMTreeBarrier(m, arity=2), lambda m: MPTreeBarrier(m, fanout=8)):
+        m = make_machine(64)
+        barrier = make(m)
+
+        def participant(node: int):
+            for _ in range(4):
+                yield from barrier.enter(node)
+                yield Compute(1)
+
+        for node in range(64):
+            m.processor(node).run_thread(participant(node))
+        m.run()
+        events += m.sim.events_processed
+    return events
+
+
+def workload_bench(repeats: int = 2) -> dict:
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = _wl_jacobi() + _wl_memcpy() + _wl_barrier()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[1]:
+            best = (events, wall)
+    events, wall = best
+    return {
+        "workload": "jacobi(64x64, sm+mp) + memcpy(4KB, 3 impls) + barrier(64p, sm+mp)",
+        "events": events,
+        "wall_sec": round(wall, 3),
+        "events_per_sec": round(events / wall),
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Full experiment sweep, serial vs parallel
+# ----------------------------------------------------------------------
+def sweep_bench(jobs: int) -> dict:
+    def run_all(n: int) -> float:
+        t0 = time.perf_counter()
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            fn(jobs=n, **QUICK_ARGS[exp_id])
+        return time.perf_counter() - t0
+
+    serial = run_all(1)
+    parallel = run_all(jobs)
+    return {
+        "experiments": list(ALL_EXPERIMENTS),
+        "jobs": jobs,
+        "serial_wall_sec": round(serial, 2),
+        "parallel_wall_sec": round(parallel, 2),
+        "parallel_speedup": round(serial / parallel, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+def measure(jobs: int, quick: bool, skip_sweep: bool = False) -> dict:
+    n_events = 60_000 if quick else 300_000
+    repeats = 1 if quick else 3
+    out = {
+        "schema": 1,
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "engine_microbench": engine_microbench(n_events, repeats),
+        "workload": workload_bench(1 if quick else 2),
+    }
+    if not skip_sweep:
+        out["sweep"] = sweep_bench(jobs)
+    return out
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float = 0.25) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    base_eps = baseline["workload"]["events_per_sec"]
+    got_eps = measured["workload"]["events_per_sec"]
+    floor = base_eps * (1 - tolerance)
+    print(f"workload events/sec: baseline={base_eps:,} measured={got_eps:,} "
+          f"floor(-{tolerance:.0%})={floor:,.0f}")
+    if got_eps < floor:
+        print("FAIL: events/sec regressed more than "
+              f"{tolerance:.0%} vs the committed baseline")
+        return 1
+    ratio = measured["engine_microbench"]["speedup_vs_legacy"]
+    print(f"engine speedup vs pre-PR replica: {ratio}x")
+    print("OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="parallel job count for the sweep comparison "
+                    "(default: cpu count / REPRO_JOBS)")
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_wallclock.json",
+                    help="where to write the JSON result")
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller event counts / single repeat (CI-sized)")
+    ap.add_argument("--skip-sweep", action="store_true",
+                    help="only the micro-bench and workload measurements")
+    ap.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                    help="compare against a committed baseline JSON and exit "
+                    "non-zero on >25%% events/sec regression (implies "
+                    "--skip-sweep; does not overwrite the baseline)")
+    args = ap.parse_args(argv)
+    jobs = args.jobs if args.jobs else default_jobs()
+
+    measured = measure(jobs, args.quick, skip_sweep=args.skip_sweep or args.check)
+    print(json.dumps(measured, indent=2))
+    if args.check is not None:
+        return check_against(args.check, measured)
+    args.out.write_text(json.dumps(measured, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,9 +82,16 @@ def run_experiment(
     plot: bool = False,
     fault_rate: float | None = None,
     fault_seed: int | None = None,
+    jobs: int | None = None,
+    profile: bool = False,
 ) -> str:
     fn = ALL_EXPERIMENTS[exp_id]
     kwargs = dict(QUICK_ARGS[exp_id]) if quick else {}
+    if jobs is not None:
+        if jobs < 0:
+            raise SystemExit(f"--jobs must be >= 0, got {jobs}")
+        # 0 means "pick for me" (cpu count / REPRO_JOBS)
+        kwargs["jobs"] = jobs if jobs > 0 else None
     if nodes is not None:
         kw = NODES_KW.get(exp_id)
         if kw is None:
@@ -99,8 +106,15 @@ def run_experiment(
             kwargs["loss_rates"] = (0.0, fault_rate)
         if fault_seed is not None:
             kwargs["seed"] = fault_seed
-    result = fn(**kwargs)
+    if profile:
+        from repro.perf import run_profiled
+
+        result, report = run_profiled(lambda: fn(**kwargs), label=exp_id)
+    else:
+        result, report = fn(**kwargs), None
     out = result.format_table()
+    if report is not None:
+        out += "\n\n" + report.rstrip()
     if plot:
         fig = plot_result(result)
         if fig is not None:
@@ -164,6 +178,15 @@ def main(argv: list[str] | None = None) -> int:
         "--fault-seed", type=int, default=None,
         help="fault-injection RNG seed for the faults experiment",
     )
+    runp.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan sweep points out over N worker processes "
+        "(0 = auto; results are byte-identical at any job count)",
+    )
+    runp.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top functions per experiment",
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -187,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
                 plot=args.plot,
                 fault_rate=args.fault_rate,
                 fault_seed=args.fault_seed,
+                jobs=args.jobs,
+                profile=args.profile,
             )
         )
         print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")

@@ -126,7 +126,7 @@ class Cmmu:
                 payload=msg,
                 cycles_per_word_override=float(self.p.dma_cycles_per_word),
             )
-            self.sim.schedule_at(start, lambda: self.network.send(packet))
+            self.sim.call_at(start, lambda: self.network.send(packet))
         else:
             packet = Packet(
                 src=self.node,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.metrics import cycles_to_usec
 from repro.analysis.tables import ExperimentResult
 from repro.experiments.common import make_machine
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.proc.effects import Compute
 from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
 
@@ -38,15 +39,32 @@ def measure_barrier(make_barrier, n_nodes: int = 64, episodes: int = 4) -> int:
     return max(leaves[last]) - max(enters[last])
 
 
-def run(n_nodes: int = 64, episodes: int = 4) -> ExperimentResult:
+def measure_point(impl: str, n_nodes: int, episodes: int) -> int:
+    """One sweep point: ``impl`` is "sm" or "mp" (picklable descriptor)."""
+    if impl == "sm":
+        return measure_barrier(lambda m: SMTreeBarrier(m, arity=2), n_nodes, episodes)
+    return measure_barrier(lambda m: MPTreeBarrier(m, fanout=8), n_nodes, episodes)
+
+
+def sweep(n_nodes: int = 64, episodes: int = 4) -> list[SweepPoint]:
+    """The experiment as data: one independent point per implementation."""
+    return [
+        SweepPoint(
+            "repro.experiments.barrier_exp:measure_point",
+            {"impl": impl, "n_nodes": n_nodes, "episodes": episodes},
+        )
+        for impl in ("sm", "mp")
+    ]
+
+
+def run(n_nodes: int = 64, episodes: int = 4, jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="barrier",
         title=f"§4.2 combining-tree barrier, {n_nodes} processors",
         columns=["implementation", "cycles", "usec", "paper_cycles"],
         notes="steady-state episode; paper: 1650 vs 660 cycles on 64 procs",
     )
-    sm = measure_barrier(lambda m: SMTreeBarrier(m, arity=2), n_nodes, episodes)
-    mp = measure_barrier(lambda m: MPTreeBarrier(m, fanout=8), n_nodes, episodes)
+    sm, mp = SweepRunner(jobs).map(sweep(n_nodes, episodes))
     for name, cycles in (
         ("shared-memory (binary tree)", sm),
         ("message-passing (8-ary tree)", mp),

@@ -17,6 +17,7 @@ from typing import Sequence
 
 from repro.analysis.tables import ExperimentResult
 from repro.experiments.common import make_machine, run_thread_timed
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.faults import FaultInjector, lossy_plan
 from repro.proc.effects import Compute
 from repro.runtime.barrier import MPTreeBarrier
@@ -91,6 +92,35 @@ def _measure_barrier(
     return cycles, layer.stats.retransmits, m.network.stats.faults_injected
 
 
+def measure_point(
+    workload: str, drop: float, nbytes: int, n_nodes: int, episodes: int, seed: int
+) -> tuple[int, int, int]:
+    """One sweep point; the fault seed travels in the descriptor, so a
+    worker reproduces the exact fault schedule a serial run sees."""
+    if workload == "memcpy":
+        return _measure_memcpy(drop, nbytes, seed)
+    return _measure_barrier(drop, n_nodes, episodes, seed)
+
+
+def sweep(
+    loss_rates: Sequence[float] = DEFAULT_RATES,
+    nbytes: int = 2048,
+    n_nodes: int = 16,
+    episodes: int = 4,
+    seed: int = 1,
+) -> list[SweepPoint]:
+    """The experiment as data: one independent point per (workload, rate)."""
+    return [
+        SweepPoint(
+            "repro.experiments.faults_exp:measure_point",
+            {"workload": w, "drop": drop, "nbytes": nbytes,
+             "n_nodes": n_nodes, "episodes": episodes, "seed": seed},
+        )
+        for w in ("memcpy", "barrier")
+        for drop in loss_rates
+    ]
+
+
 def run(
     loss_rates: Sequence[float] = DEFAULT_RATES,
     nbytes: int = 2048,
@@ -99,6 +129,7 @@ def run(
     # seed 0 is deterministically unlucky: Random(0)'s first ~35 draws
     # all exceed 0.1, so a short memcpy run would see zero faults
     seed: int = 1,
+    jobs: int = 1,
 ) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="faults",
@@ -106,14 +137,13 @@ def run(
         columns=["drop_pct", "workload", "cycles", "retries", "faults", "slowdown_x"],
         notes="fig7 memcpy + MP barrier in reliable mode; slowdown vs lossless row",
     )
-    workloads = (
-        ("memcpy", lambda d: _measure_memcpy(d, nbytes, seed)),
-        ("barrier", lambda d: _measure_barrier(d, n_nodes, episodes, seed)),
-    )
+    points = sweep(loss_rates, nbytes, n_nodes, episodes, seed)
+    measured = dict(zip(((p.kwargs["workload"], p.kwargs["drop"]) for p in points),
+                        SweepRunner(jobs).map(points)))
     base: dict[str, int] = {}
-    for name, fn in workloads:
+    for name in ("memcpy", "barrier"):
         for drop in loss_rates:
-            cycles, retries, faults = fn(drop)
+            cycles, retries, faults = measured[(name, drop)]
             base.setdefault(name, cycles)
             res.add(
                 drop_pct=round(drop * 100, 1),

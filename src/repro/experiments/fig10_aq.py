@@ -13,6 +13,7 @@ from repro.analysis.metrics import cycles_to_msec
 from repro.analysis.tables import ExperimentResult
 from repro.apps.aq import aq_parallel, default_integrand, sequential_cycles
 from repro.experiments.common import make_machine
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.runtime.rt import Runtime
 
 #: tolerance sweep — tighter tolerance => bigger recursion tree =>
@@ -32,7 +33,23 @@ def measure_aq(kind: str, tol: float, n_nodes: int = 64, seed: int = 0):
     return result, cycles
 
 
-def run(tols: Sequence[float] = DEFAULT_TOLS, n_nodes: int = 64) -> ExperimentResult:
+def sweep(
+    tols: Sequence[float] = DEFAULT_TOLS, n_nodes: int = 64
+) -> list[SweepPoint]:
+    """The experiment as data: one independent point per (tol, scheduler)."""
+    return [
+        SweepPoint(
+            "repro.experiments.fig10_aq:measure_aq",
+            {"kind": kind, "tol": tol, "n_nodes": n_nodes},
+        )
+        for tol in tols
+        for kind in ("hybrid", "sm")
+    ]
+
+
+def run(
+    tols: Sequence[float] = DEFAULT_TOLS, n_nodes: int = 64, jobs: int = 1
+) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="fig10",
         title=f"Fig. 10: aq speedup vs problem size, {n_nodes} processors",
@@ -46,12 +63,15 @@ def run(tols: Sequence[float] = DEFAULT_TOLS, n_nodes: int = 64) -> ExperimentRe
         notes="paper: hybrid ~2x at small sizes, >20% at ~800 ms",
     )
     x0, y0, x1, y1 = DOMAIN
+    points = sweep(tols, n_nodes)
+    measured = dict(zip(((p.kwargs["tol"], p.kwargs["kind"]) for p in points),
+                        SweepRunner(jobs).map(points)))
     for tol in tols:
         seq = sequential_cycles(default_integrand, x0, y0, x1, y1, tol)
         s = {}
         vals = {}
         for kind in ("hybrid", "sm"):
-            value, cycles = measure_aq(kind, tol, n_nodes)
+            value, cycles = measured[(tol, kind)]
             s[kind] = seq / cycles
             vals[kind] = value
         assert abs(vals["hybrid"] - vals["sm"]) < 1e-9, "schedulers disagree on the integral"

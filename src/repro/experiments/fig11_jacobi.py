@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.tables import ExperimentResult
 from repro.apps.jacobi import JacobiApp, initial_grid, reference_jacobi
 from repro.experiments.common import make_machine
+from repro.perf.sweep import SweepPoint, SweepRunner
 
 DEFAULT_GRIDS = (32, 64, 128)
 
@@ -32,8 +33,23 @@ def measure_jacobi(
     return app.cycles_per_iteration(cycles)
 
 
-def run(
+def sweep(
     grid_sizes: Sequence[int] = DEFAULT_GRIDS, n_nodes: int = 64, iters: int = 6
+) -> list[SweepPoint]:
+    """The experiment as data: one independent point per (grid, mode)."""
+    return [
+        SweepPoint(
+            "repro.experiments.fig11_jacobi:measure_jacobi",
+            {"mode": mode, "grid_size": g, "n_nodes": n_nodes, "iters": iters},
+        )
+        for g in grid_sizes
+        for mode in ("sm", "mp")
+    ]
+
+
+def run(
+    grid_sizes: Sequence[int] = DEFAULT_GRIDS, n_nodes: int = 64, iters: int = 6,
+    jobs: int = 1,
 ) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="fig11",
@@ -41,9 +57,12 @@ def run(
         columns=["grid", "cycles_per_iter_sm", "cycles_per_iter_mp", "mp_over_sm"],
         notes="paper: SM wins small grids, MP wins large, both by small margins",
     )
+    points = sweep(grid_sizes, n_nodes, iters)
+    measured = dict(zip(((p.kwargs["grid_size"], p.kwargs["mode"]) for p in points),
+                        SweepRunner(jobs).map(points)))
     for g in grid_sizes:
-        sm = measure_jacobi("sm", g, n_nodes, iters)
-        mp = measure_jacobi("mp", g, n_nodes, iters)
+        sm = measured[(g, "sm")]
+        mp = measured[(g, "mp")]
         res.add(
             grid=f"{g}x{g}",
             cycles_per_iter_sm=round(sm),

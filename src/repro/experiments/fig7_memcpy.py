@@ -12,10 +12,13 @@ from typing import Sequence
 from repro.analysis.metrics import mbytes_per_sec
 from repro.analysis.tables import ExperimentResult
 from repro.experiments.common import make_machine, run_thread_timed
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.proc.effects import Load
 from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+IMPLS = ("no-prefetching", "prefetching", "message-passing")
 
 PAPER_MBS = {
     ("no-prefetching", 256): 11.7,
@@ -65,26 +68,41 @@ def _measure_mp(nbytes: int) -> int:
     return cycles
 
 
-def run(block_sizes: Sequence[int] = DEFAULT_SIZES) -> ExperimentResult:
+def measure_point(impl: str, nbytes: int) -> int:
+    """One sweep point: copy ``nbytes`` with ``impl``; returns cycles."""
+    if impl == "message-passing":
+        return _measure_mp(nbytes)
+    copier = copy_no_prefetch if impl == "no-prefetching" else copy_prefetch
+    return _measure_sm(copier, nbytes)
+
+
+def sweep(block_sizes: Sequence[int] = DEFAULT_SIZES) -> list[SweepPoint]:
+    """The experiment as data: one independent point per (size, impl)."""
+    return [
+        SweepPoint(
+            "repro.experiments.fig7_memcpy:measure_point",
+            {"impl": impl, "nbytes": nbytes},
+        )
+        for nbytes in block_sizes
+        for impl in IMPLS
+    ]
+
+
+def run(block_sizes: Sequence[int] = DEFAULT_SIZES, jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="fig7",
         title="Fig. 7: memory-to-memory copy performance",
         columns=["block_bytes", "implementation", "cycles", "MB_per_s", "paper_MB_per_s"],
         notes="push copy to an adjacent node; paper anchors at 256 B and 4 KB",
     )
-    impls = (
-        ("no-prefetching", lambda n: _measure_sm(copy_no_prefetch, n)),
-        ("prefetching", lambda n: _measure_sm(copy_prefetch, n)),
-        ("message-passing", _measure_mp),
-    )
-    for nbytes in block_sizes:
-        for name, fn in impls:
-            cycles = fn(nbytes)
-            res.add(
-                block_bytes=nbytes,
-                implementation=name,
-                cycles=cycles,
-                MB_per_s=round(mbytes_per_sec(nbytes, cycles), 1),
-                paper_MB_per_s=PAPER_MBS.get((name, nbytes), "-"),
-            )
+    points = sweep(block_sizes)
+    for point, cycles in zip(points, SweepRunner(jobs).map(points)):
+        name, nbytes = point.kwargs["impl"], point.kwargs["nbytes"]
+        res.add(
+            block_bytes=nbytes,
+            implementation=name,
+            cycles=cycles,
+            MB_per_s=round(mbytes_per_sec(nbytes, cycles), 1),
+            paper_MB_per_s=PAPER_MBS.get((name, nbytes), "-"),
+        )
     return res

@@ -18,6 +18,7 @@ from repro.apps.accum import (
     fill_array,
 )
 from repro.experiments.common import make_machine, run_thread_timed
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.runtime.bulk import BulkTransfer
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
@@ -58,16 +59,37 @@ def _measure_mp(nbytes: int) -> tuple[int, int]:
     return cycles, total
 
 
-def run(block_sizes: Sequence[int] = DEFAULT_SIZES) -> ExperimentResult:
+def measure_point(impl: str, nbytes: int) -> int:
+    """One sweep point: sum a remote array of ``nbytes``; returns cycles."""
+    cycles, _total = (_measure_sm if impl == "sm" else _measure_mp)(nbytes)
+    return cycles
+
+
+def sweep(block_sizes: Sequence[int] = DEFAULT_SIZES) -> list[SweepPoint]:
+    """The experiment as data: one independent point per (size, impl)."""
+    return [
+        SweepPoint(
+            "repro.experiments.fig8_accum:measure_point",
+            {"impl": impl, "nbytes": nbytes},
+        )
+        for nbytes in block_sizes
+        for impl in ("sm", "mp")
+    ]
+
+
+def run(block_sizes: Sequence[int] = DEFAULT_SIZES, jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="fig8",
         title="Fig. 8: accum (sum of a remote array)",
         columns=["block_bytes", "implementation", "cycles", "mp_over_sm"],
         notes="paper: MP ~2x slower small blocks -> ~1.3x slower large blocks",
     )
+    points = sweep(block_sizes)
+    cycles = dict(zip(((p.kwargs["nbytes"], p.kwargs["impl"]) for p in points),
+                      SweepRunner(jobs).map(points)))
     for nbytes in block_sizes:
-        sm_cycles, _ = _measure_sm(nbytes)
-        mp_cycles, _ = _measure_mp(nbytes)
+        sm_cycles = cycles[(nbytes, "sm")]
+        mp_cycles = cycles[(nbytes, "mp")]
         res.add(
             block_bytes=nbytes,
             implementation="shared-memory",

@@ -12,6 +12,7 @@ from repro.analysis.metrics import cycles_to_msec
 from repro.analysis.tables import ExperimentResult
 from repro.apps.grain import grain_parallel, sequential_cycles
 from repro.experiments.common import make_machine
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.runtime.rt import Runtime
 
 DEFAULT_DELAYS = (0, 100, 200, 400, 600, 800, 1000)
@@ -34,8 +35,23 @@ def measure_grain(kind: str, delay: int, depth: int = 12, n_nodes: int = 64, see
     return cycles
 
 
-def run(
+def sweep(
     delays: Sequence[int] = DEFAULT_DELAYS, depth: int = 12, n_nodes: int = 64
+) -> list[SweepPoint]:
+    """The experiment as data: one independent point per (delay, scheduler)."""
+    return [
+        SweepPoint(
+            "repro.experiments.fig9_grain:measure_grain",
+            {"kind": kind, "delay": delay, "depth": depth, "n_nodes": n_nodes},
+        )
+        for delay in delays
+        for kind in ("hybrid", "sm")
+    ]
+
+
+def run(
+    delays: Sequence[int] = DEFAULT_DELAYS, depth: int = 12, n_nodes: int = 64,
+    jobs: int = 1,
 ) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="fig9",
@@ -51,12 +67,12 @@ def run(
         ],
         notes="speedup vs single-node sequential run (no scheduler overhead)",
     )
+    points = sweep(delays, depth, n_nodes)
+    measured = dict(zip(((p.kwargs["delay"], p.kwargs["kind"]) for p in points),
+                        SweepRunner(jobs).map(points)))
     for delay in delays:
         seq = sequential_cycles(depth, delay)
-        s = {}
-        for kind in ("hybrid", "sm"):
-            cycles = measure_grain(kind, delay, depth, n_nodes)
-            s[kind] = seq / cycles
+        s = {kind: seq / measured[(delay, kind)] for kind in ("hybrid", "sm")}
         res.add(
             delay_l=delay,
             seq_msec=round(cycles_to_msec(seq), 1),

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.metrics import cycles_to_usec
 from repro.analysis.tables import ExperimentResult
 from repro.experiments.common import make_machine
+from repro.perf.sweep import SweepPoint, SweepRunner
 from repro.proc.effects import Compute
 from repro.runtime.rt import Runtime
 
@@ -53,7 +54,18 @@ def measure_rti(kind: str, n_nodes: int = 64, trials: int = 8) -> tuple[float, f
     )
 
 
-def run(n_nodes: int = 64, trials: int = 8) -> ExperimentResult:
+def sweep(n_nodes: int = 64, trials: int = 8) -> list[SweepPoint]:
+    """The experiment as data: one independent point per scheduler kind."""
+    return [
+        SweepPoint(
+            "repro.experiments.rti_exp:measure_rti",
+            {"kind": kind, "n_nodes": n_nodes, "trials": trials},
+        )
+        for kind in ("sm", "hybrid")
+    ]
+
+
+def run(n_nodes: int = 64, trials: int = 8, jobs: int = 1) -> ExperimentResult:
     res = ExperimentResult(
         exp_id="rti",
         title=f"§4.3 remote thread invocation, {n_nodes} processors",
@@ -68,8 +80,10 @@ def run(n_nodes: int = 64, trials: int = 8) -> ExperimentResult:
         ],
         notes="mean over staggered trials inside the full scheduler",
     )
+    points = sweep(n_nodes, trials)
+    measured = dict(zip((p.kwargs["kind"] for p in points), SweepRunner(jobs).map(points)))
     for kind, label in (("sm", "shared-memory"), ("hybrid", "message-based")):
-        invoker, invokee = measure_rti(kind, n_nodes, trials)
+        invoker, invokee = measured[kind]
         res.add(
             implementation=label,
             Tinvoker=round(invoker),

@@ -197,12 +197,17 @@ class CoherenceEngine:
         two) and False on a miss — synchronously, the way the real
         cache controller tells Sparcle whether to stall or
         context-switch.
+
+        Hit fast path: a local cache hit completes through the
+        engine's handle-free due lane (``Simulator.call_after``) — no
+        transaction state, no event record, no heap round-trip — while
+        retiring at exactly the same simulated cycle as before.
         """
         line = line_of(addr, self.line_size)
         cache = self.caches[node]
 
         if kind is AccessKind.PREFETCH:
-            self.sim.schedule(self.p.prefetch_issue, on_done)
+            self.sim.call_after(self.p.prefetch_issue, on_done)
             if cache.state(line) is not LineState.INVALID:
                 return True
             if line in self._mshr[node]:
@@ -217,11 +222,11 @@ class CoherenceEngine:
 
         if kind is AccessKind.READ:
             if cache.lookup(line, for_write=False):
-                self.sim.schedule(self.p.load_hit, on_done)
+                self.sim.call_after(self.p.load_hit, on_done)
                 return True
         elif kind is AccessKind.WRITE:
             if cache.lookup(line, for_write=True):
-                self.sim.schedule(self.p.store_hit, on_done)
+                self.sim.call_after(self.p.store_hit, on_done)
                 return True
         else:  # pragma: no cover - exhaustive enum
             raise SimulationError(f"unknown access kind {kind!r}")
@@ -256,7 +261,7 @@ class CoherenceEngine:
         req = _HomeReq(kind="upgrade" if upgrade else kind, node=node, line=line)
         if home == node:
             self.stats.local_transactions += 1
-            self.sim.schedule(
+            self.sim.call_after(
                 self.p.request_issue, lambda: self._home_enqueue(home, req)
             )
         else:
@@ -381,9 +386,9 @@ class CoherenceEngine:
 
                     self._apply_or_defer(s, line, do)
 
-                self.sim.schedule_at(send_at, local_inv)
+                self.sim.call_at(send_at, local_inv)
             else:
-                self.sim.schedule_at(
+                self.sim.call_at(
                     send_at,
                     lambda s=sharer: self._send(
                         home, s, PacketKind.COH_INVALIDATE,
@@ -443,7 +448,7 @@ class CoherenceEngine:
                     d.add_sharer(line, requester)
                     self._schedule_reply(home, requester, line, LineState.SHARED, at=t2)
 
-                self.sim.schedule_at(
+                self.sim.call_at(
                     ready,
                     lambda: self._send(
                         home,
@@ -489,7 +494,7 @@ class CoherenceEngine:
                     d.set_exclusive(line, requester)
                     self._schedule_reply(home, requester, line, LineState.MODIFIED, at=t2)
 
-                self.sim.schedule_at(
+                self.sim.call_at(
                     ready,
                     lambda: self._send(
                         home,
@@ -533,9 +538,9 @@ class CoherenceEngine:
 
                     self._apply_or_defer(s, line, do)
 
-                self.sim.schedule_at(send_at, local_inv)
+                self.sim.call_at(send_at, local_inv)
             else:
-                self.sim.schedule_at(
+                self.sim.call_at(
                     send_at,
                     lambda s=sharer: self._send(
                         home, s, PacketKind.COH_INVALIDATE,
@@ -629,21 +634,21 @@ class CoherenceEngine:
 
         def deliver() -> None:
             if home == requester:
-                self.sim.schedule(self.p.request_issue, lambda: self._fill(requester, line, state))
+                self.sim.call_after(self.p.request_issue, lambda: self._fill(requester, line, state))
             else:
                 self._send(
                     home, requester, pk, words,
                     lambda: self._fill(requester, line, state),
                 )
 
-        self.sim.schedule_at(at, deliver)
+        self.sim.call_at(at, deliver)
         # The home's part is done once the reply leaves; free the line
         # for the next queued transaction. A later transaction's
         # invalidate/forward can therefore overtake this data reply in
         # the network — the receiver defers such actions until its
         # fill lands (see _apply_or_defer), mirroring the transient
         # states real protocols keep for exactly this race.
-        self.sim.schedule_at(at, lambda: self._line_release(home, line))
+        self.sim.call_at(at, lambda: self._line_release(home, line))
 
     def _fill(self, node: int, line: int, state: LineState) -> None:
         cache = self.caches[node]
@@ -669,7 +674,7 @@ class CoherenceEngine:
                     # its own transaction (an upgrade/write miss).
                     self.access(node, line, kind, cb)
 
-        self.sim.schedule(self.p.fill_cycles, release)
+        self.sim.call_after(self.p.fill_cycles, release)
 
     @staticmethod
     def _satisfied(kind: AccessKind, state: LineState) -> bool:

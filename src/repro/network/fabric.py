@@ -156,7 +156,7 @@ class Network:
         self.stats.by_kind[packet.kind] += 1
         self.stats.total_latency += arrival - now
         sink = self._sinks[packet.dst]
-        self.sim.schedule_at(arrival, lambda: sink(packet))
+        self.sim.call_at(arrival, lambda: sink(packet))
         return arrival
 
     def link_utilization(self) -> dict[tuple[int, int], int]:

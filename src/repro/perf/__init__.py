@@ -1,0 +1,9 @@
+"""Host-speed tooling: parallel sweep execution and profiling.
+
+See ``docs/PERFORMANCE.md`` for the architecture.
+"""
+
+from repro.perf.profile import run_profiled
+from repro.perf.sweep import SweepPoint, SweepRunner, default_jobs, run_point
+
+__all__ = ["SweepPoint", "SweepRunner", "default_jobs", "run_point", "run_profiled"]

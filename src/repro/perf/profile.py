@@ -1,0 +1,26 @@
+"""cProfile helpers for the host-speed work (CLI ``--profile``)."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable
+
+
+def run_profiled(
+    fn: Callable[..., Any], *args: Any, label: str = "", top: int = 15, **kwargs: Any
+) -> tuple[Any, str]:
+    """Run ``fn`` under cProfile; returns ``(result, report)``.
+
+    The report is the top-``top`` functions by cumulative time — the
+    view that surfaces event-loop hot paths (heap ops, effect
+    dispatch, coherence transactions) rather than leaf noise.
+    """
+    prof = cProfile.Profile()
+    result = prof.runcall(fn, *args, **kwargs)
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    header = f"-- cProfile top {top} (cumulative){': ' + label if label else ''} --"
+    return result, header + "\n" + buf.getvalue()

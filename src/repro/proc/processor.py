@@ -149,7 +149,7 @@ class Processor:
         if self._dispatch_pending:
             return
         self._dispatch_pending = True
-        self.sim.schedule(0, self._dispatch)
+        self.sim.call_after(0, self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
@@ -167,7 +167,7 @@ class Processor:
             self.stats.contexts_run += 1
             cost = self.p.context_switch if resumed else 0
             if cost:
-                self.sim.schedule(cost, lambda: self._step(ctx, value))
+                self.sim.call_after(cost, lambda: self._step(ctx, value))
             else:
                 self._step(ctx, value)
             return
@@ -208,7 +208,7 @@ class Processor:
         self.cmmu.stats.interrupts_raised += 1
         self.stats.handlers_run += 1
         ctx = Context(gen=fn(msg), label=f"h:{msg.mtype}", is_handler=True, msg=msg)
-        self.sim.schedule(self.cmmu.p.interrupt_entry, lambda: self._step(ctx, None))
+        self.sim.call_after(self.cmmu.p.interrupt_entry, lambda: self._step(ctx, None))
 
     def _exit_handler(self) -> None:
         def finish() -> None:
@@ -228,7 +228,7 @@ class Processor:
                 self._complete(ctx, value)
             self._schedule_dispatch()
 
-        self.sim.schedule(self.cmmu.p.interrupt_exit, finish)
+        self.sim.call_after(self.cmmu.p.interrupt_exit, finish)
 
     # ------------------------------------------------------------------
     # Effect execution
@@ -280,93 +280,109 @@ class Processor:
         self._schedule_dispatch()
 
     def _execute(self, ctx: Context, eff) -> None:
-        if type(eff) is fx.Compute:
-            cycles = eff.cycles * self.p.compute_unit
-            self.stats.busy_cycles += cycles
-            self.sim.schedule(cycles, lambda: self._complete(ctx))
-        elif type(eff) is fx.Load:
-            addr = eff.addr
+        # per-class dict dispatch: one hash lookup instead of walking a
+        # ~10-arm ``type(eff) is fx.X`` elif chain on every effect
+        handler = _EFFECT_DISPATCH.get(eff.__class__)
+        if handler is None:
+            raise SimulationError(f"unknown effect {eff!r}")
+        handler(self, ctx, eff)
+
+    def _eff_compute(self, ctx: Context, eff) -> None:
+        cycles = eff.cycles * self.p.compute_unit
+        self.stats.busy_cycles += cycles
+        self.sim.call_after(cycles, lambda: self._complete(ctx))
+
+    def _eff_load(self, ctx: Context, eff) -> None:
+        addr = eff.addr
+        if self._store_buffer:
             forwarded = self._forward_from_store_buffer(addr)
             if forwarded is not None:
-                self.sim.schedule(
+                self.sim.call_after(
                     self.coherence.p.load_hit, lambda: self._complete(ctx, forwarded[0])
                 )
                 return
-            hit = self.coherence.access(
-                self.node, addr, AccessKind.READ,
-                lambda: self._complete(ctx, self.store.read(addr)),
-            )
-            if not hit:
-                self._maybe_miss_switch(ctx)
-        elif type(eff) is fx.Store:
-            addr, value = eff.addr, eff.value
-            if self.p.store_buffer_depth > 0:
-                self._buffered_store(ctx, addr, value)
-                return
+        hit = self.coherence.access(
+            self.node, addr, AccessKind.READ,
+            lambda: self._complete(ctx, self.store.read(addr)),
+        )
+        if not hit:
+            self._maybe_miss_switch(ctx)
 
-            def on_store() -> None:
-                self.store.write(addr, value)
-                self._complete(ctx)
+    def _eff_store(self, ctx: Context, eff) -> None:
+        addr, value = eff.addr, eff.value
+        if self.p.store_buffer_depth > 0:
+            self._buffered_store(ctx, addr, value)
+            return
 
-            hit = self.coherence.access(self.node, addr, AccessKind.WRITE, on_store)
-            if not hit:
-                self._maybe_miss_switch(ctx)
-        elif type(eff) is fx.FetchOp:
-            addr, fn = eff.addr, eff.fn
-            if self._store_buffer:
-                # atomics have fence semantics: drain first, then retry
-                self._fence_waiters.append((ctx, eff))
-                return
+        def on_store() -> None:
+            self.store.write(addr, value)
+            self._complete(ctx)
 
-            def on_rmw() -> None:
-                old, _new = self.store.atomically(addr, fn)
-                self.sim.schedule(self.p.atomic_extra, lambda: self._complete(ctx, old))
+        hit = self.coherence.access(self.node, addr, AccessKind.WRITE, on_store)
+        if not hit:
+            self._maybe_miss_switch(ctx)
 
-            hit = self.coherence.access(self.node, addr, AccessKind.WRITE, on_rmw)
-            if not hit:
-                self._maybe_miss_switch(ctx)
-        elif type(eff) is fx.Fence:
-            if not self._store_buffer:
-                self.sim.schedule(1, lambda: self._complete(ctx))
-            else:
-                self._fence_waiters.append((ctx, None))
-        elif type(eff) is fx.Prefetch:
-            self.coherence.access(
-                self.node, eff.addr, AccessKind.PREFETCH, lambda: self._complete(ctx)
-            )
-        elif type(eff) is fx.Send:
-            cost = self.cmmu.describe_launch_cost(len(eff.operands), len(eff.blocks))
-            dst, mtype, operands, blocks = eff.dst, eff.mtype, eff.operands, eff.blocks
+    def _eff_fetch_op(self, ctx: Context, eff) -> None:
+        addr, fn = eff.addr, eff.fn
+        if self._store_buffer:
+            # atomics have fence semantics: drain first, then retry
+            self._fence_waiters.append((ctx, eff))
+            return
 
-            def do_launch() -> None:
-                self.cmmu.launch(dst, mtype, operands, blocks)
-                self._complete(ctx)
+        def on_rmw() -> None:
+            old, _new = self.store.atomically(addr, fn)
+            self.sim.call_after(self.p.atomic_extra, lambda: self._complete(ctx, old))
 
-            self.stats.busy_cycles += cost
-            self.sim.schedule(cost, do_launch)
-        elif type(eff) is fx.Storeback:
-            if not ctx.is_handler or ctx.msg is None:
-                raise SimulationError("Storeback outside a message handler")
-            cost = self.cmmu.storeback(ctx.msg, eff.dma_addr)
-            self.sim.schedule(cost, lambda: self._complete(ctx))
-        elif type(eff) is fx.SetIMask:
-            self.imask = eff.masked
-            unmasked_work = not eff.masked and bool(self.cmmu.in_queue)
-            self.sim.schedule(1, lambda: self._complete(ctx))
-            if unmasked_work and not self.in_handler:
-                # the pending message traps us as soon as we unmask;
-                # the current thread's resumption will be deferred
-                self.sim.schedule(1, self._maybe_interrupt)
-        elif type(eff) is fx.Suspend:
-            self._suspend(ctx, eff.register)
-        elif type(eff) is fx.Yield:
-            if ctx.is_handler:
-                raise SimulationError("Yield inside a message handler")
-            self.current = None
-            self.ready.append((ctx, None, False))
-            self.sim.schedule(1, self._schedule_dispatch)
+        hit = self.coherence.access(self.node, addr, AccessKind.WRITE, on_rmw)
+        if not hit:
+            self._maybe_miss_switch(ctx)
+
+    def _eff_fence(self, ctx: Context, eff) -> None:
+        if not self._store_buffer:
+            self.sim.call_after(1, lambda: self._complete(ctx))
         else:
-            raise SimulationError(f"unknown effect {eff!r}")
+            self._fence_waiters.append((ctx, None))
+
+    def _eff_prefetch(self, ctx: Context, eff) -> None:
+        self.coherence.access(
+            self.node, eff.addr, AccessKind.PREFETCH, lambda: self._complete(ctx)
+        )
+
+    def _eff_send(self, ctx: Context, eff) -> None:
+        cost = self.cmmu.describe_launch_cost(len(eff.operands), len(eff.blocks))
+        dst, mtype, operands, blocks = eff.dst, eff.mtype, eff.operands, eff.blocks
+
+        def do_launch() -> None:
+            self.cmmu.launch(dst, mtype, operands, blocks)
+            self._complete(ctx)
+
+        self.stats.busy_cycles += cost
+        self.sim.call_after(cost, do_launch)
+
+    def _eff_storeback(self, ctx: Context, eff) -> None:
+        if not ctx.is_handler or ctx.msg is None:
+            raise SimulationError("Storeback outside a message handler")
+        cost = self.cmmu.storeback(ctx.msg, eff.dma_addr)
+        self.sim.call_after(cost, lambda: self._complete(ctx))
+
+    def _eff_set_imask(self, ctx: Context, eff) -> None:
+        self.imask = eff.masked
+        unmasked_work = not eff.masked and bool(self.cmmu.in_queue)
+        self.sim.call_after(1, lambda: self._complete(ctx))
+        if unmasked_work and not self.in_handler:
+            # the pending message traps us as soon as we unmask;
+            # the current thread's resumption will be deferred
+            self.sim.call_after(1, self._maybe_interrupt)
+
+    def _eff_suspend(self, ctx: Context, eff) -> None:
+        self._suspend(ctx, eff.register)
+
+    def _eff_yield(self, ctx: Context, eff) -> None:
+        if ctx.is_handler:
+            raise SimulationError("Yield inside a message handler")
+        self.current = None
+        self.ready.append((ctx, None, False))
+        self.sim.call_after(1, self._schedule_dispatch)
 
     def _maybe_interrupt(self) -> None:
         if self.cmmu.in_queue and not self.imask and not self.in_handler:
@@ -393,7 +409,7 @@ class Processor:
             self._drain_check()
 
         self.coherence.access(self.node, addr, AccessKind.WRITE, on_retire)
-        self.sim.schedule(self.p.store_issue_cost, lambda: self._complete(ctx))
+        self.sim.call_after(self.p.store_issue_cost, lambda: self._complete(ctx))
 
     def _forward_from_store_buffer(self, addr: int):
         """Store-to-load forwarding: youngest buffered value for addr
@@ -449,7 +465,7 @@ class Processor:
         self._stalled.add(cur)
         self.current = None
         self.stats.miss_switches += 1
-        self.sim.schedule(self.p.miss_switch_cost, self._schedule_dispatch)
+        self.sim.call_after(self.p.miss_switch_cost, self._schedule_dispatch)
 
     def _suspend(self, ctx: Context, register) -> None:
         if ctx.is_handler:
@@ -466,3 +482,20 @@ class Processor:
 
         register(resume)
         self._schedule_dispatch()
+
+
+#: effect class -> bound handler; built once at import (satisfies the
+#: exact-type semantics the old ``type(eff) is fx.X`` chain enforced)
+_EFFECT_DISPATCH = {
+    fx.Compute: Processor._eff_compute,
+    fx.Load: Processor._eff_load,
+    fx.Store: Processor._eff_store,
+    fx.FetchOp: Processor._eff_fetch_op,
+    fx.Fence: Processor._eff_fence,
+    fx.Prefetch: Processor._eff_prefetch,
+    fx.Send: Processor._eff_send,
+    fx.Storeback: Processor._eff_storeback,
+    fx.SetIMask: Processor._eff_set_imask,
+    fx.Suspend: Processor._eff_suspend,
+    fx.Yield: Processor._eff_yield,
+}

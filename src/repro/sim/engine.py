@@ -7,12 +7,33 @@ queue keyed by the simulated cycle count.
 
 Events scheduled for the same cycle fire in FIFO order of scheduling,
 which keeps runs fully deterministic.
+
+Hot-path design
+---------------
+Millions of events per run make the per-event constant factor the
+simulator's wall-clock bottleneck, so the queue is built from two
+lanes that together fire in exact ``(time, seq)`` order:
+
+* a binary heap whose entries are plain ``(time, seq, item)`` tuples
+  (tuple comparison short-circuits on the leading ints — no per-event
+  ``__lt__`` method dispatch), and
+* a FIFO "due lane" (deque) taking any event whose time is >= the
+  lane's current tail. Delays in the model are overwhelmingly issued
+  in non-decreasing time order, so most events enter and leave the
+  queue in O(1) without touching the heap at all.
+
+``item`` is either a bare callable (the handle-free
+:meth:`Simulator.call_after` fast path — nothing to allocate, nothing
+to cancel) or a ``_Event`` record when the caller needs an
+:class:`EventHandle`. Both lanes share one sequence counter, so the
+merge order is identical to a single heap: host speed changes,
+simulated timing does not.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Callable
 
 
@@ -20,25 +41,40 @@ class SimulationError(RuntimeError):
     """Raised for fatal inconsistencies inside the simulator."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+    """Cancellable queue entry (only allocated when a handle is taken)."""
+
+    __slots__ = ("time", "fn", "cancelled", "fired")
+
+    def __init__(self, time: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        """Prevent the event from firing (idempotent).
+
+        Cancelling an event that has already *fired* is a documented
+        no-op: the callback ran, and the handle's ``fired`` property
+        stays True (``cancelled`` stays False) so callers can observe
+        which race they lost.
+        """
+        ev = self._event
+        if ev.fired or ev.cancelled:
+            return
+        ev.cancelled = True
+        self._sim._live -= 1
 
     @property
     def time(self) -> int:
@@ -47,6 +83,11 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has run."""
+        return self._event.fired
 
 
 class Simulator:
@@ -57,8 +98,10 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[_Event] = []
+        self._queue: list[tuple[int, int, object]] = []
+        self._due: deque[tuple[int, int, object]] = deque()
         self._seq = 0
+        self._live = 0  # not-cancelled, not-yet-fired events (O(1) pending)
         self.now: int = 0
         self._running = False
         self.events_processed: int = 0
@@ -66,20 +109,54 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, fn: Callable[[], None]) -> EventHandle:
+    def _when(self, delay) -> int:
+        if type(delay) is int:  # common case: integer cycles, no ceil math
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
+            return self.now + delay
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        # ceil for fractional delays (bandwidth division can produce
+        # fractions; the hardware rounds to whole cycles)
+        return self.now + int(-(-delay // 1))
+
+    def schedule(self, delay, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run ``delay`` cycles from now.
 
         ``delay`` must be non-negative; fractional delays are rounded
-        up (timing models sometimes produce fractions from bandwidth
-        division and the hardware would round to whole cycles).
+        up. Returns a handle that can cancel the event. Hot paths that
+        never cancel should prefer :meth:`call_after`.
         """
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
-        when = self.now + int(-(-delay // 1))  # ceil for fractional delays
-        ev = _Event(when, self._seq, fn)
+        when = self._when(delay)
+        ev = _Event(when, fn)
+        entry = (when, self._seq, ev)
         self._seq += 1
-        heapq.heappush(self._queue, ev)
-        return EventHandle(ev)
+        self._live += 1
+        due = self._due
+        if not due or when >= due[-1][0]:
+            due.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
+        return EventHandle(ev, self)
+
+    def call_after(self, delay, fn: Callable[[], None]) -> None:
+        """Handle-free fast-path scheduling for hot loops.
+
+        Fires ``fn`` exactly as :meth:`schedule` would (same global
+        FIFO ordering for same-cycle events) but allocates no event
+        record and no handle, and — for the overwhelmingly common case
+        of non-decreasing issue times — bypasses the heap entirely via
+        the O(1) due lane.
+        """
+        when = self._when(delay)
+        entry = (when, self._seq, fn)
+        self._seq += 1
+        self._live += 1
+        due = self._due
+        if not due or when >= due[-1][0]:
+            due.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
 
     def schedule_at(self, when: int, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` at absolute cycle ``when`` (>= now)."""
@@ -89,22 +166,72 @@ class Simulator:
             )
         return self.schedule(when - self.now, fn)
 
+    def call_at(self, when: int, fn: Callable[[], None]) -> None:
+        """Handle-free :meth:`schedule_at` (see :meth:`call_after`)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self.now}"
+            )
+        self.call_after(when - self.now, fn)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _pop_next(self):
+        """Pop the globally next live entry, or None. Skips cancelled."""
+        due = self._due
+        queue = self._queue
+        while True:
+            if due:
+                # seqs are unique, so tuple comparison never reaches
+                # the (uncomparable) third element
+                if queue and queue[0] < due[0]:
+                    entry = heapq.heappop(queue)
+                else:
+                    entry = due.popleft()
+            elif queue:
+                entry = heapq.heappop(queue)
+            else:
+                return None
+            item = entry[2]
+            if item.__class__ is _Event and item.cancelled:
+                continue
+            return entry
+
+    def _next_time(self):
+        """Time of the next live event without popping it, or None."""
+        due = self._due
+        queue = self._queue
+        while due and due[0][2].__class__ is _Event and due[0][2].cancelled:
+            due.popleft()
+        while queue and queue[0][2].__class__ is _Event and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        if due:
+            if queue and queue[0][0] < due[0][0]:
+                return queue[0][0]
+            return due[0][0]
+        if queue:
+            return queue[0][0]
+        return None
+
     def step(self) -> bool:
         """Run a single event. Returns False when the queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            if ev.time < self.now:
-                raise SimulationError("event queue time went backwards")
-            self.now = ev.time
-            self.events_processed += 1
-            ev.fn()
-            return True
-        return False
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        when = entry[0]
+        if when < self.now:
+            raise SimulationError("event queue time went backwards")
+        item = entry[2]
+        self.now = when
+        self._live -= 1
+        self.events_processed += 1
+        if item.__class__ is _Event:
+            item.fired = True
+            item.fn()
+        else:
+            item()
+        return True
 
     def run(
         self,
@@ -133,23 +260,27 @@ class Simulator:
         processed = 0
         stopped_early = False
         try:
-            while self._queue:
-                nxt = self._queue[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and nxt.time > until:
-                    break
-                if not self.step():
-                    break
-                processed += 1
-                if stop_when is not None and stop_when():
-                    stopped_early = True
-                    break
-                if max_events is not None and processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (runaway simulation?)"
-                    )
+            if until is None and max_events is None and stop_when is None:
+                # unconditioned drain: the tight loop the experiments use
+                while self.step():
+                    pass
+            else:
+                while True:
+                    nxt = self._next_time()
+                    if nxt is None:
+                        break
+                    if until is not None and nxt > until:
+                        break
+                    if not self.step():
+                        break
+                    processed += 1
+                    if stop_when is not None and stop_when():
+                        stopped_early = True
+                        break
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} (runaway simulation?)"
+                        )
         finally:
             self._running = False
         if until is not None and not stopped_early:
@@ -158,8 +289,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self.now} pending={self.pending}>"

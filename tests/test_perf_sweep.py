@@ -1,0 +1,105 @@
+"""Tests for the parallel sweep runner and its determinism contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.perf.sweep import SweepPoint, SweepRunner, default_jobs, run_point
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestSweepPoint:
+    def test_resolve_and_run(self):
+        p = SweepPoint("tests.test_perf_sweep:_square", {"x": 7})
+        assert p.resolve()(x=7) == 49
+        assert run_point(p) == 49
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SweepPoint("no_colon_here").resolve()
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            SweepPoint("tests.test_perf_sweep:GOLDEN_IDS").resolve()
+
+    def test_points_are_picklable(self):
+        import pickle
+
+        p = SweepPoint("tests.test_perf_sweep:_square", {"x": 3})
+        assert run_point(pickle.loads(pickle.dumps(p))) == 9
+
+
+class TestSweepRunner:
+    POINTS = [SweepPoint("tests.test_perf_sweep:_square", {"x": i}) for i in range(8)]
+
+    def test_serial_preserves_order(self):
+        assert SweepRunner(1).map(self.POINTS) == [i * i for i in range(8)]
+
+    def test_parallel_preserves_order(self):
+        assert SweepRunner(4).map(self.POINTS) == [i * i for i in range(8)]
+
+    def test_single_point_runs_in_process(self):
+        # len <= 1 must not pay pool startup
+        assert SweepRunner(8).map(self.POINTS[:1]) == [0]
+
+    def test_jobs_none_uses_default(self):
+        assert SweepRunner(None).jobs == default_jobs()
+
+    def test_jobs_floor_is_one(self):
+        assert SweepRunner(0).jobs == 1
+        assert SweepRunner(-3).jobs == 1
+
+    def test_worker_exception_propagates(self):
+        bad = [SweepPoint("tests.test_perf_sweep:_fail", {"x": 1})] * 2
+        with pytest.raises(RuntimeError):
+            SweepRunner(2).map(bad)
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+
+# ----------------------------------------------------------------------
+# Serial/parallel equivalence: every experiment must produce
+# byte-identical rows at --jobs 1 and --jobs 4 (trimmed configs to
+# keep the double-run affordable).
+# ----------------------------------------------------------------------
+SMALL_CONFIGS = {
+    "barrier": dict(n_nodes=8),
+    "rti": dict(n_nodes=8, trials=2),
+    "fig7": dict(block_sizes=(64, 256)),
+    "fig8": dict(block_sizes=(64, 256)),
+    "fig9": dict(delays=(0,), depth=7, n_nodes=8),
+    "fig10": dict(tols=(3e-3,), n_nodes=8),
+    # jacobi needs a square mesh decomposition, hence 16 nodes
+    "fig11": dict(grid_sizes=(16,), n_nodes=16, iters=2),
+    # fault seeds travel inside the sweep descriptors, so drops are
+    # identical wherever the point runs
+    "faults": dict(loss_rates=(0.0, 0.1), nbytes=256, n_nodes=8, episodes=2),
+}
+
+GOLDEN_IDS = sorted(SMALL_CONFIGS)
+
+
+@pytest.mark.parametrize("exp_id", GOLDEN_IDS)
+def test_parallel_rows_identical_to_serial(exp_id):
+    fn = ALL_EXPERIMENTS[exp_id]
+    serial = fn(jobs=1, **SMALL_CONFIGS[exp_id])
+    parallel = fn(jobs=4, **SMALL_CONFIGS[exp_id])
+    s = json.dumps(serial.rows, sort_keys=True, default=str)
+    p = json.dumps(parallel.rows, sort_keys=True, default=str)
+    assert s == p, f"{exp_id}: jobs=4 rows differ from jobs=1"
+
+
+def test_small_configs_cover_every_experiment():
+    assert set(SMALL_CONFIGS) == set(ALL_EXPERIMENTS)

@@ -181,6 +181,107 @@ def test_events_processed_counter():
     assert sim.events_processed == 7
 
 
+def test_fired_property_lifecycle():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    assert not h.fired
+    assert not h.cancelled
+    sim.run()
+    assert h.fired
+    assert not h.cancelled
+
+
+def test_cancel_after_fire_is_noop():
+    """Regression: cancel() on a fired handle must not mark it
+    cancelled, must not disturb the live-event counter, and must not
+    affect later events."""
+    sim = Simulator()
+    fired = []
+    h = sim.schedule(1, lambda: fired.append("a"))
+    sim.schedule(2, lambda: fired.append("b"))
+    sim.run(until=1)
+    assert h.fired
+    h.cancel()
+    assert not h.cancelled
+    assert sim.pending == 1  # the "b" event is still live
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_cancel_is_idempotent_on_pending_event():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    h.cancel()
+    h.cancel()  # second cancel must not double-decrement the counter
+    assert sim.pending == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_pending_tracks_schedule_cancel_and_fire():
+    sim = Simulator()
+    assert sim.pending == 0
+    h1 = sim.schedule(5, lambda: None)
+    h2 = sim.schedule(6, lambda: None)
+    sim.call_after(7, lambda: None)
+    assert sim.pending == 3
+    h1.cancel()
+    assert sim.pending == 2
+    sim.run(until=6)
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert h2.fired
+
+
+def test_call_after_fires_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_after(10, lambda: order.append("b"))
+    sim.call_after(5, lambda: order.append("a"))
+    sim.call_after(20, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_call_after_interleaves_fifo_with_schedule():
+    """Handle-free and handle-bearing events at the same cycle must
+    fire in submission order — the global-FIFO determinism contract."""
+    sim = Simulator()
+    order = []
+    sim.schedule(3, lambda: order.append("h0"))
+    sim.call_after(3, lambda: order.append("f1"))
+    sim.schedule(3, lambda: order.append("h2"))
+    sim.call_after(3, lambda: order.append("f3"))
+    sim.run()
+    assert order == ["h0", "f1", "h2", "f3"]
+
+
+def test_call_at_absolute_and_past_rejected():
+    from repro.sim import SimulationError as SE
+
+    sim = Simulator()
+    seen = []
+    sim.call_after(5, lambda: sim.call_at(12, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [12]
+    with pytest.raises(SE):
+        sim.call_at(3, lambda: None)
+
+
+def test_out_of_order_schedule_after_due_lane_fill():
+    """Scheduling a *nearer* event after farther same-lane entries must
+    still fire in time order (it lands in the heap, not the due lane)."""
+    sim = Simulator()
+    order = []
+    sim.call_after(10, lambda: order.append("far"))
+    sim.call_after(2, lambda: order.append("near"))
+    sim.call_after(10, lambda: order.append("far2"))
+    sim.run()
+    assert order == ["near", "far", "far2"]
+    assert sim.now == 10
+
+
 class TestResource:
     def test_sequential_acquisitions_serialize(self):
         sim = Simulator()
