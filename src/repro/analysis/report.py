@@ -6,6 +6,13 @@ simulator-side equivalent of Alewife's performance-monitoring
 readouts. Useful for explaining *why* an experiment behaved the way
 it did (e.g. how many invalidations the SM barrier generated vs how
 many messages the MP one sent).
+
+Since the observability subsystem landed, :func:`collect` is a view
+over the metrics registry: it freezes the machine into a
+:class:`~repro.obs.metrics.MetricsSnapshot` (the same one
+``--metrics-out`` writes) and reads every report field out of that,
+so the human-readable report and the machine-readable ``run.json``
+can never disagree.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.analysis.tables import format_table
 from repro.machine.machine import Machine
 from repro.network.packet import PROTOCOL_KINDS
+from repro.obs.metrics import MetricsSnapshot, collect_machine
 
 
 @dataclass
@@ -94,76 +102,60 @@ class MachineReport:
         )
 
 
-def collect(machine: Machine) -> MachineReport:
-    """Aggregate all component counters of ``machine``."""
-    net = machine.network.stats
-    coh = machine.coherence.stats
-    proto = sum(net.by_kind[k] for k in PROTOCOL_KINDS if k in net.by_kind)
-    per_node = []
-    totals = dict(
-        cache_hits=0, cache_misses=0, inv_recv=0, wbacks=0,
-        msgs=0, interrupts=0, dma=0, dma_words=0,
-        handlers=0, contexts=0, effects=0, traps=0, inv_sent=0,
+def collect(
+    machine: Machine, snapshot: MetricsSnapshot | None = None
+) -> MachineReport:
+    """Build the report from the machine's metrics snapshot (collected
+    here unless the caller already has one)."""
+    snap = snapshot if snapshot is not None else collect_machine(machine)
+    proto_kinds = {k.value for k in PROTOCOL_KINDS}
+    proto = sum(
+        r["value"]
+        for r in snap.rows
+        if r["name"] == "net.packets_by_kind" and r["labels"].get("kind") in proto_kinds
     )
-    for node in machine.nodes:
-        cs = node.cache.stats
-        ds = node.directory.stats
-        ms = node.cmmu.stats
-        ps = node.processor.stats
-        per_node.append(
-            {
-                "node": node.node_id,
-                "hits": cs.hits,
-                "misses": cs.misses,
-                "messages": ms.messages_sent,
-                "handlers": ps.handlers_run,
-                "busy_cycles": ps.busy_cycles,
-            }
-        )
-        totals["cache_hits"] += cs.hits
-        totals["cache_misses"] += cs.misses
-        totals["inv_recv"] += cs.invalidations_received
-        totals["wbacks"] += cs.writebacks
-        totals["msgs"] += ms.messages_sent
-        totals["interrupts"] += ms.interrupts_raised
-        totals["dma"] += ms.dma_transfers
-        totals["dma_words"] += ms.data_words_sent
-        totals["handlers"] += ps.handlers_run
-        totals["contexts"] += ps.contexts_run
-        totals["effects"] += ps.effects
-        totals["traps"] += ds.software_traps
-        totals["inv_sent"] += ds.invalidations_sent
-
+    packets = snap.value("net.packets")
+    per_node = [
+        {
+            "node": nid,
+            "hits": snap.value("cache.hits", node=nid),
+            "misses": snap.value("cache.misses", node=nid),
+            "messages": snap.value("cmmu.messages_sent", node=nid),
+            "handlers": snap.value("proc.handlers_run", node=nid),
+            "busy_cycles": snap.value("proc.busy_cycles", node=nid),
+        }
+        for nid in range(machine.n_nodes)
+    ]
     return MachineReport(
-        cycles=machine.sim.now,
+        cycles=snap.value("sim.cycles"),
         n_nodes=machine.n_nodes,
-        cache_hits=totals["cache_hits"],
-        cache_misses=totals["cache_misses"],
-        invalidations_received=totals["inv_recv"],
-        writebacks=totals["wbacks"],
-        transactions=coh.transactions,
-        read_misses=coh.read_misses,
-        write_misses=coh.write_misses,
-        forwards=coh.forwards,
-        invalidations_sent=totals["inv_sent"],
-        limitless_traps=totals["traps"],
-        packets=net.packets,
-        words=net.words,
+        cache_hits=snap.total("cache.hits"),
+        cache_misses=snap.total("cache.misses"),
+        invalidations_received=snap.total("cache.invalidations_received"),
+        writebacks=snap.total("cache.writebacks"),
+        transactions=snap.value("coh.transactions"),
+        read_misses=snap.value("coh.read_misses"),
+        write_misses=snap.value("coh.write_misses"),
+        forwards=snap.value("coh.forwards"),
+        invalidations_sent=snap.total("dir.invalidations_sent"),
+        limitless_traps=snap.total("dir.software_traps"),
+        packets=packets,
+        words=snap.value("net.words"),
         protocol_packets=proto,
-        software_packets=net.packets - proto,
-        mean_packet_latency=net.mean_latency,
-        messages_sent=totals["msgs"],
-        interrupts=totals["interrupts"],
-        dma_transfers=totals["dma"],
-        dma_words=totals["dma_words"],
-        handlers_run=totals["handlers"],
-        contexts_run=totals["contexts"],
-        effects=totals["effects"],
+        software_packets=packets - proto,
+        mean_packet_latency=snap.value("net.mean_packet_latency"),
+        messages_sent=snap.total("cmmu.messages_sent"),
+        interrupts=snap.total("cmmu.interrupts_raised"),
+        dma_transfers=snap.total("cmmu.dma_transfers"),
+        dma_words=snap.total("cmmu.data_words_sent"),
+        handlers_run=snap.total("proc.handlers_run"),
+        contexts_run=snap.total("proc.contexts_run"),
+        effects=snap.total("proc.effects"),
         per_node=per_node,
         hot_links=sorted(
             machine.network.link_utilization().items(),
             key=lambda kv: kv[1],
             reverse=True,
         )[:4],
-        faults_injected=net.faults_injected,
+        faults_injected=snap.value("net.faults_injected"),
     )

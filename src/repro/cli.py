@@ -6,6 +6,15 @@ Usage::
     alewife-repro run fig7
     alewife-repro run all
     alewife-repro run fig9 --nodes 16 --quick
+    alewife-repro fig8_accum --metrics-out run.json --trace-out trace.json
+
+The last form is a convenience: an experiment id (``fig8``) or its
+module basename (``fig8_accum``) given as the first argument implies
+``run``. ``--metrics-out`` writes the machine-readable ``run.json``
+manifest (parameters, metrics snapshot, cycle attribution, timings);
+``--trace-out`` writes a Perfetto-loadable trace
+(https://ui.perfetto.dev); ``--sample-interval N`` records a
+time-series sample every N simulated cycles.
 """
 
 from __future__ import annotations
@@ -31,6 +40,25 @@ QUICK_ARGS = {
 
 #: experiments that accept an ``n_nodes`` keyword
 NODES_KW = {"barrier": "n_nodes", "rti": "n_nodes", "fig9": "n_nodes", "fig10": "n_nodes", "fig11": "n_nodes", "faults": "n_nodes"}
+
+
+def _experiment_aliases() -> dict[str, str]:
+    """Experiment ids plus their module basenames (``fig8_accum`` →
+    ``fig8``), so ``python -m repro.cli fig8_accum ...`` implies
+    ``run fig8 ...``."""
+    aliases = {exp_id: exp_id for exp_id in ALL_EXPERIMENTS}
+    for exp_id, fn in ALL_EXPERIMENTS.items():
+        aliases[(fn.__module__ or "").rsplit(".", 1)[-1]] = exp_id
+    return aliases
+
+
+def _jsonable(value):
+    """kwargs → JSON-safe (tuples become lists)."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
 
 
 def plot_result(res: ExperimentResult) -> str | None:
@@ -84,6 +112,10 @@ def run_experiment(
     fault_seed: int | None = None,
     jobs: int | None = None,
     profile: bool = False,
+    metrics_out: str | None = None,
+    trace_out: str | None = None,
+    sample_interval: int = 0,
+    trace_kinds: str = "packet,handler,context",
 ) -> str:
     fn = ALL_EXPERIMENTS[exp_id]
     kwargs = dict(QUICK_ARGS[exp_id]) if quick else {}
@@ -106,12 +138,37 @@ def run_experiment(
             kwargs["loss_rates"] = (0.0, fault_rate)
         if fault_seed is not None:
             kwargs["seed"] = fault_seed
-    if profile:
-        from repro.perf import run_profiled
+    obs_cfg = None
+    if metrics_out or trace_out or sample_interval:
+        from repro.obs.session import ObsConfig
 
-        result, report = run_profiled(lambda: fn(**kwargs), label=exp_id)
+        if sample_interval < 0:
+            raise SystemExit(f"--sample-interval must be >= 0, got {sample_interval}")
+        obs_cfg = ObsConfig(
+            sample_interval=sample_interval,
+            trace=bool(trace_out),
+            trace_kinds=tuple(k for k in trace_kinds.split(",") if k),
+        )
+
+    def invoke():
+        if profile:
+            from repro.perf import run_profiled
+
+            return run_profiled(lambda: fn(**kwargs), label=exp_id)
+        return fn(**kwargs), None
+
+    t_wall = time.time()
+    obs_data = None
+    if obs_cfg is not None:
+        from repro.obs.session import session as obs_session
+
+        with obs_session(obs_cfg) as s:
+            result, report = invoke()
+            obs_data = s.data()
     else:
-        result, report = fn(**kwargs), None
+        result, report = invoke()
+    wall = time.time() - t_wall
+
     out = result.format_table()
     if report is not None:
         out += "\n\n" + report.rstrip()
@@ -119,7 +176,67 @@ def run_experiment(
         fig = plot_result(result)
         if fig is not None:
             out += "\n\n" + fig
+    if obs_data is not None:
+        out += "\n" + _write_obs_outputs(
+            exp_id, kwargs, wall, obs_data, metrics_out, trace_out
+        )
     return out
+
+
+def _write_obs_outputs(
+    exp_id: str,
+    kwargs: dict,
+    wall: float,
+    data: dict,
+    metrics_out: str | None,
+    trace_out: str | None,
+) -> str:
+    """Render the observation outputs; returns status lines."""
+    from repro.analysis.tables import format_table
+    from repro.obs.export import export_perfetto, write_run_manifest
+    from repro.obs.profiler import BUCKETS
+
+    lines = []
+    attr = data.get("cycle_attribution")
+    if attr and attr["total_cycles"]:
+        total = attr["total_cycles"]
+        rows = [{
+            "bucket": b,
+            "cycles": cycles,
+            "share": f"{100.0 * cycles / total:.1f}%",
+        } for b in BUCKETS
+            if (cycles := sum(rec["buckets"].get(b, 0)
+                              for rec in attr["per_node"].values()))]
+        lines.append(format_table(
+            f"cycle attribution — {total:,} node-cycles over "
+            f"{attr['machines']} machine(s)",
+            ["bucket", "cycles", "share"], rows))
+    if trace_out:
+        n = export_perfetto(data["records"], trace_out)
+        dropped = sum(r.get("trace_dropped", 0) for r in data["records"])
+        note = f" ({dropped} events dropped at capture)" if dropped else ""
+        lines.append(
+            f"wrote {n} trace events -> {trace_out}{note} "
+            "(load at https://ui.perfetto.dev)"
+        )
+    if metrics_out:
+        timings = {
+            "wall_seconds": round(wall, 3),
+            "machines": len(data["records"]),
+            "simulated_cycles": sum(r["cycles"] for r in data["records"]),
+        }
+        write_run_manifest(
+            metrics_out,
+            experiment=exp_id,
+            params=_jsonable(kwargs),
+            timings=timings,
+            metrics=data["metrics"],
+            cycle_attribution=data["cycle_attribution"],
+            samples=[r["samples"] for r in data["records"] if "samples" in r],
+        )
+        n_rows = len(data["metrics"]["rows"]) if data["metrics"] else 0
+        lines.append(f"wrote run manifest ({n_rows} metric rows) -> {metrics_out}")
+    return "\n".join(lines)
 
 
 def run_demo() -> str:
@@ -187,6 +304,32 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="run under cProfile and print the top functions per experiment",
     )
+    runp.add_argument(
+        "--metrics-out", default=None, metavar="RUN_JSON",
+        help="write the machine-readable run manifest (params, metrics "
+        "snapshot, cycle attribution, timings) to this path",
+    )
+    runp.add_argument(
+        "--trace-out", default=None, metavar="TRACE_JSON",
+        help="record a trace and write it as Perfetto-loadable Chrome "
+        "trace-event JSON (open at https://ui.perfetto.dev)",
+    )
+    runp.add_argument(
+        "--sample-interval", type=int, default=0, metavar="CYCLES",
+        help="record a time-series sample (in-flight packets, link "
+        "utilization, hit rate, queue depth) every N simulated cycles",
+    )
+    runp.add_argument(
+        "--trace-kinds", default="packet,handler,context", metavar="K1,K2",
+        help="comma-separated trace kinds for --trace-out "
+        "(default: packet,handler,context)",
+    )
+    if argv is None:
+        argv = sys.argv[1:]
+    # 'python -m repro.cli fig8_accum ...': an experiment id or module
+    # basename in subcommand position implies 'run'
+    if argv and argv[0] in _experiment_aliases():
+        argv = ["run", _experiment_aliases()[argv[0]], *argv[1:]]
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -200,6 +343,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     targets = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all" and (args.metrics_out or args.trace_out):
+        raise SystemExit(
+            "--metrics-out/--trace-out write one file per run; "
+            "pick a single experiment instead of 'all'"
+        )
     for exp_id in targets:
         t0 = time.time()
         print(
@@ -212,6 +360,10 @@ def main(argv: list[str] | None = None) -> int:
                 fault_seed=args.fault_seed,
                 jobs=args.jobs,
                 profile=args.profile,
+                metrics_out=args.metrics_out,
+                trace_out=args.trace_out,
+                sample_interval=args.sample_interval,
+                trace_kinds=args.trace_kinds,
             )
         )
         print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")

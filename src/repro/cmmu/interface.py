@@ -69,6 +69,17 @@ class Cmmu:
         self.stats = CmmuStats()
         network.attach(node, self._sink)
 
+    def register_metrics(self, reg, **labels) -> None:
+        """Register this CMMU's instruments (lazy reads) into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        s = self.stats
+        labels = {"component": "cmmu", **labels}
+        for name in ("messages_sent", "messages_received", "data_words_sent",
+                     "dma_transfers", "interrupts_raised", "queued_while_masked"):
+            reg.counter(f"cmmu.{name}", lambda n=name: getattr(s, n), **labels)
+        reg.counter("cmmu.dma_busy_cycles", lambda: self.dma.total_busy, **labels)
+        reg.gauge("cmmu.in_queue_depth", lambda: len(self.in_queue), **labels)
+
     # ------------------------------------------------------------------
     # Send side: describe + launch
     # ------------------------------------------------------------------

@@ -10,7 +10,16 @@ from repro.sim.engine import SimulationError
 
 
 def make_machine(n_nodes: int = 64, **cfg_kw: Any) -> Machine:
-    return Machine(MachineConfig(n_nodes=n_nodes, **cfg_kw))
+    """Build a machine; if an observation session is active
+    (``repro.obs.session``), attach its observers at construction time
+    so every experiment is observable without its own plumbing."""
+    m = Machine(MachineConfig(n_nodes=n_nodes, **cfg_kw))
+    from repro.obs.session import current as obs_current
+
+    s = obs_current()
+    if s is not None:
+        s.observe(m)
+    return m
 
 
 def run_thread_timed(machine: Machine, gen: Generator) -> tuple[Any, int]:

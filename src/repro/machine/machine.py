@@ -57,6 +57,10 @@ class Machine:
         )
         self.nodes: list[Node] = []
         self._heap_next: list[int] = []
+        #: set by repro.runtime.Runtime so observers (metrics
+        #: collection, the time-series sampler) can reach the
+        #: schedulers without extra wiring
+        self.runtime = None
         for nid in range(cfg.n_nodes):
             cache = Cache(nid, capacity_lines=cfg.cache_lines, line_size=cfg.line_size)
             directory = Directory(nid, hw_pointers=cfg.dir_hw_pointers)

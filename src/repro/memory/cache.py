@@ -144,5 +144,16 @@ class Cache:
     def resident_lines(self) -> list[int]:
         return list(self._lines)
 
+    def register_metrics(self, reg, **labels) -> None:
+        """Register this cache's instruments (lazy reads) into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        s = self.stats
+        labels = {"component": "cache", **labels}
+        for name in ("hits", "misses", "evictions", "writebacks",
+                     "invalidations_received", "upgrades"):
+            reg.counter(f"cache.{name}", lambda n=name: getattr(s, n), **labels)
+        reg.gauge("cache.hit_rate", lambda: s.hit_rate, **labels)
+        reg.gauge("cache.resident_lines", lambda: len(self._lines), **labels)
+
     def __len__(self) -> int:
         return len(self._lines)

@@ -185,6 +185,21 @@ class CoherenceEngine:
         self._mshr[node] = {}
         self._prefetch_count[node] = 0
 
+    def register_metrics(self, reg, **labels) -> None:
+        """Register protocol-engine instruments (lazy reads) into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        s = self.stats
+        labels = {"component": "coherence", **labels}
+        for name in ("transactions", "read_misses", "write_misses", "upgrades",
+                     "prefetches_issued", "prefetches_dropped", "forwards",
+                     "invalidations", "writebacks", "local_transactions"):
+            reg.counter(f"coh.{name}", lambda n=name: getattr(s, n), **labels)
+        reg.counter(
+            "coh.mem_port_busy_cycles",
+            lambda: sum(p.total_busy for p in self.ports.values()),
+            **labels,
+        )
+
     # ------------------------------------------------------------------
     # Requester side
     # ------------------------------------------------------------------

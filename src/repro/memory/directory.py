@@ -122,3 +122,12 @@ class Directory:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def register_metrics(self, reg, **labels) -> None:
+        """Register this directory's instruments (lazy reads) into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        s = self.stats
+        labels = {"component": "directory", **labels}
+        for name in ("lookups", "software_traps", "invalidations_sent", "forwards"):
+            reg.counter(f"dir.{name}", lambda n=name: getattr(s, n), **labels)
+        reg.gauge("dir.entries", lambda: len(self._entries), **labels)

@@ -162,3 +162,28 @@ class Network:
     def link_utilization(self) -> dict[tuple[int, int], int]:
         """Total busy cycles per directed link (for diagnostics)."""
         return {k: r.total_busy for k, r in self._links.items()}
+
+    def register_metrics(self, reg, **labels) -> None:
+        """Register this fabric's instruments (lazy reads, no hot-path
+        cost) into a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        s = self.stats
+        labels = {"component": "network", **labels}
+        reg.counter("net.packets", lambda: s.packets, **labels)
+        reg.counter("net.words", lambda: s.words, **labels)
+        reg.counter("net.total_latency", lambda: s.total_latency, **labels)
+        reg.gauge("net.mean_packet_latency", lambda: s.mean_latency, **labels)
+        reg.counter("net.faults_injected", lambda: s.faults_injected, **labels)
+        for fault in ("dropped", "duplicated", "delayed", "reordered",
+                      "outage_drops", "stalls"):
+            reg.counter(f"net.fault.{fault}",
+                        lambda f=fault: getattr(s, f), **labels)
+        for kind in list(self.stats.by_kind):
+            reg.counter("net.packets_by_kind",
+                        lambda k=kind: s.by_kind.get(k, 0),
+                        kind=kind.value, **labels)
+        reg.counter(
+            "net.link_busy_cycles",
+            lambda: sum(r.total_busy for r in self._links.values()),
+            **labels,
+        )
+        reg.gauge("net.links", lambda: len(self._links), **labels)

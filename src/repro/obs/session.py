@@ -1,0 +1,203 @@
+"""Process-wide observation session.
+
+Ties the four pillars together behind one switch: open a session
+(:func:`session`), and every machine built through
+``experiments.common.make_machine`` while it is active gets the
+configured observers attached at construction time — no experiment
+needs observability plumbing of its own. When an experiment fans its
+sweep points out over worker processes, each worker opens its own
+session (:func:`_obs_run_point`), ships the collected observation
+data back as plain picklable dicts, and the parent merges them in
+input order, so observed parallel runs stay deterministic.
+
+    cfg = ObsConfig(sample_interval=1000, trace=True)
+    with session(cfg) as s:
+        run_experiment(...)
+    data = s.data()   # records + merged metrics + cycle attribution
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.obs.metrics import MetricsSnapshot, collect_machine
+from repro.obs.profiler import CycleProfiler, merge_attribution
+from repro.obs.sampler import TimeSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.perf.sweep import SweepPoint
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to attach to each machine. Frozen + plain data so it
+    pickles into sweep workers unchanged."""
+
+    #: cycles between time-series samples; 0 disables the sampler
+    sample_interval: int = 0
+    #: record a trace (kinds below) for Perfetto export
+    trace: bool = False
+    #: trace kinds to capture; the default set is what the exporter
+    #: renders as tracks ("effect"/"txn" traces are huge — opt in)
+    trace_kinds: tuple[str, ...] = ("packet", "handler", "context")
+    #: collect a MetricsSnapshot per machine
+    metrics: bool = True
+    #: attach the cycle-attribution profiler
+    profile: bool = True
+    max_trace_events: int = 200_000
+    max_samples: int = 100_000
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.sample_interval or self.trace or self.metrics or self.profile
+        )
+
+
+class ObsSession:
+    """Accumulates observations from every machine built while active.
+
+    Live observers stay attached until :meth:`data` (or the machine is
+    garbage-collected); collected results are plain data — a list of
+    per-machine records plus a merged metrics snapshot and merged
+    cycle attribution.
+    """
+
+    def __init__(self, cfg: ObsConfig) -> None:
+        self.cfg = cfg
+        self._observed: list[tuple[Any, ...]] = []
+        self.records: list[dict] = []
+        self.metrics: MetricsSnapshot | None = None
+        self.attribution: dict | None = None
+
+    # ------------------------------------------------------------------
+    def observe(self, machine: "Machine", label: str = "") -> None:
+        """Attach the configured observers to a freshly-built machine."""
+        cfg = self.cfg
+        if not cfg.enabled:
+            return
+        profiler = CycleProfiler(machine) if cfg.profile else None
+        sampler = (
+            TimeSampler(machine, cfg.sample_interval, cfg.max_samples)
+            if cfg.sample_interval
+            else None
+        )
+        tracer = None
+        if cfg.trace:
+            from repro.trace.tracer import Tracer
+
+            tracer = Tracer(
+                machine, kinds=cfg.trace_kinds, max_events=cfg.max_trace_events
+            )
+        if label == "":
+            label = f"m{len(self._observed) + len(self.records)}"
+        self._observed.append((machine, label, tracer, profiler, sampler))
+
+    def _finalize(self, rec: tuple[Any, ...]) -> None:
+        machine, label, tracer, profiler, sampler = rec
+        out: dict[str, Any] = {
+            "label": label,
+            "n_nodes": machine.n_nodes,
+            "cycles": machine.sim.now,
+        }
+        if tracer is not None:
+            out["trace"] = [
+                (e.time, e.node, e.kind, e.what, e.detail) for e in tracer.events
+            ]
+            out["trace_dropped"] = tracer.dropped
+            tracer.detach()
+        if sampler is not None:
+            out["samples"] = sampler.as_dict()
+            sampler.detach()
+        if profiler is not None:
+            prof = profiler.as_dict()
+            out["profile"] = prof
+            profiler.detach()
+            if self.attribution is None:
+                # deep-ish copy: merge_attribution mutates its target
+                self.attribution = {
+                    "machines": 0,
+                    "total_cycles": 0,
+                    "per_node": {},
+                }
+            merge_attribution(self.attribution, prof)
+        if self.cfg.metrics:
+            snap = collect_machine(
+                machine, extra=sampler.histograms if sampler else ()
+            )
+            if self.metrics is None:
+                self.metrics = snap
+            else:
+                self.metrics.merge(snap)
+        self.records.append(out)
+
+    # ------------------------------------------------------------------
+    def absorb(self, data: dict) -> None:
+        """Fold a worker's :meth:`data` payload into this session
+        (called in input order by SweepRunner → deterministic)."""
+        self.records.extend(data["records"])
+        if data.get("metrics") is not None:
+            snap = MetricsSnapshot.from_dict(data["metrics"])
+            if self.metrics is None:
+                self.metrics = snap
+            else:
+                self.metrics.merge(snap)
+        if data.get("cycle_attribution") is not None:
+            if self.attribution is None:
+                self.attribution = {
+                    "machines": 0,
+                    "total_cycles": 0,
+                    "per_node": {},
+                }
+            merge_attribution(self.attribution, data["cycle_attribution"])
+
+    def data(self) -> dict:
+        """Finalize any still-live observers and return everything as
+        plain (picklable, JSON-able) data. Idempotent."""
+        pending, self._observed = self._observed, []
+        for rec in pending:
+            self._finalize(rec)
+        return {
+            "records": self.records,
+            "metrics": self.metrics.as_dict() if self.metrics else None,
+            "cycle_attribution": self.attribution,
+        }
+
+
+# ----------------------------------------------------------------------
+# The process-global active session
+# ----------------------------------------------------------------------
+_ACTIVE: ObsSession | None = None
+
+
+def current() -> ObsSession | None:
+    """The active session, if any (checked by ``make_machine``)."""
+    return _ACTIVE
+
+
+@contextmanager
+def session(cfg: ObsConfig) -> Iterator[ObsSession]:
+    """Open an observation session for the duration of the block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    s = ObsSession(cfg)
+    _ACTIVE = s
+    try:
+        yield s
+    finally:
+        _ACTIVE = prev
+
+
+def _obs_run_point(arg: tuple[ObsConfig, "SweepPoint"]) -> tuple[Any, dict]:
+    """Worker-side sweep entry: run one point under a fresh session
+    (regardless of any session object inherited across ``fork``) and
+    return (result, observation data) for the parent to absorb."""
+    from repro.perf.sweep import run_point
+
+    cfg, point = arg
+    with session(cfg) as s:
+        result = run_point(point)
+        return result, s.data()

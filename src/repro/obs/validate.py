@@ -1,0 +1,59 @@
+"""CI gate: ``python -m repro.obs.validate run.json [trace.json]``.
+
+Exits non-zero (listing the problems) if the run manifest is missing
+required keys, the cycle-attribution buckets do not sum to the node
+totals, or the optional trace file's events lack the Chrome
+trace-event schema keys (``ph``, ``ts``, ``pid``, ``tid``, ``name``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import validate_run_manifest
+
+TRACE_EVENT_REQUIRED = ("ph", "ts", "pid", "tid", "name")
+
+
+def validate_trace_file(path: str) -> list[str]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if events is None:
+        return [f"{path}: no traceEvents array"]
+    errors = []
+    for i, ev in enumerate(events):
+        missing = [k for k in TRACE_EVENT_REQUIRED if k not in ev]
+        if missing:
+            errors.append(f"{path}: event {i} missing {missing}: {ev}")
+            if len(errors) >= 10:
+                errors.append(f"{path}: ... (stopping after 10)")
+                break
+    if not events:
+        errors.append(f"{path}: traceEvents is empty")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate RUN_JSON [TRACE_JSON]",
+              file=sys.stderr)
+        return 2
+    errors = []
+    with open(argv[0]) as fh:
+        manifest = json.load(fh)
+    errors += [f"{argv[0]}: {e}" for e in validate_run_manifest(manifest)]
+    for path in argv[1:]:
+        errors += validate_trace_file(path)
+    if errors:
+        for e in errors:
+            print(f"INVALID: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {', '.join(argv)} valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,12 +80,32 @@ class SweepRunner:
     def map(self, points: Sequence[SweepPoint]) -> list[Any]:
         points = list(points)
         if self.jobs <= 1 or len(points) <= 1:
+            # in-process: an active observation session sees each
+            # machine directly through make_machine
             return [run_point(p) for p in points]
         import multiprocessing as mp
 
+        from repro.obs.session import _obs_run_point, current as obs_current
+
         # never spin up more workers than there are points
         procs = min(self.jobs, len(points))
+        sess = obs_current()
+        if sess is None:
+            with mp.Pool(processes=procs) as pool:
+                # chunksize=1: sweep points are coarse (whole
+                # simulations), so scheduling freedom beats batching
+                return pool.map(run_point, points, chunksize=1)
+        # observed parallel run: each worker opens its own session and
+        # ships plain observation data back with its result; absorbing
+        # in input order keeps the merge deterministic at any job count
         with mp.Pool(processes=procs) as pool:
-            # chunksize=1: sweep points are coarse (whole simulations),
-            # so scheduling freedom beats batching
-            return pool.map(run_point, points, chunksize=1)
+            out = pool.map(
+                _obs_run_point,
+                [(sess.cfg, p) for p in points],
+                chunksize=1,
+            )
+        results = []
+        for result, data in out:
+            results.append(result)
+            sess.absorb(data)
+        return results

@@ -142,6 +142,16 @@ class Processor:
     def busy(self) -> bool:
         return self.current is not None or self.in_handler
 
+    def register_metrics(self, reg, **labels) -> None:
+        """Register this processor's instruments (lazy reads) into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        s = self.stats
+        labels = {"component": "processor", **labels}
+        for name in ("contexts_run", "handlers_run", "effects", "idle_probes",
+                     "busy_cycles", "miss_switches"):
+            reg.counter(f"proc.{name}", lambda n=name: getattr(s, n), **labels)
+        reg.gauge("proc.ready_depth", lambda: len(self.ready), **labels)
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------

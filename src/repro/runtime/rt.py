@@ -108,6 +108,7 @@ class Runtime:
         self.schedulers: list[NodeScheduler] = [
             sched_cls(self, node) for node in range(machine.n_nodes)
         ]
+        machine.runtime = self  # let observers reach the schedulers
         for node, sched in enumerate(self.schedulers):
             proc = machine.processor(node)
             proc.idle_hook = sched.idle_step

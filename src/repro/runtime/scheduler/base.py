@@ -62,6 +62,16 @@ class NodeScheduler(abc.ABC):
         """Cheap check used inside the idle backoff loop; yields
         effects, returns True when local work appeared."""
 
+    def register_metrics(self, reg, **labels) -> None:
+        """Register this scheduler's instruments (lazy reads) into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        labels = {"component": "scheduler", "kind": self.rt.kind, **labels}
+        reg.counter("sched.steals_attempted",
+                    lambda: self.stats_steals_attempted, **labels)
+        reg.counter("sched.steals_won", lambda: self.stats_steals_won, **labels)
+        reg.counter("sched.tasks_run", lambda: self.stats_tasks_run, **labels)
+        reg.gauge("sched.queue_depth", self.queue_length, **labels)
+
     # -- policy (shared) ------------------------------------------------
     def pick_victim(self) -> int | None:
         n = self.rt.machine.n_nodes

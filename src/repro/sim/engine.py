@@ -53,6 +53,25 @@ class _Event:
         self.fired = False
 
 
+class _Daemon:
+    """Queue entry for a daemon (observer) event.
+
+    Callable so :meth:`Simulator.step` runs it through the same bare
+    ``item()`` path as handle-free events; the only extra work is
+    keeping the simulator's daemon count current.
+    """
+
+    __slots__ = ("_sim", "fn")
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None]) -> None:
+        self._sim = sim
+        self.fn = fn
+
+    def __call__(self) -> None:
+        self._sim._daemons -= 1
+        self.fn()
+
+
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
@@ -102,6 +121,7 @@ class Simulator:
         self._due: deque[tuple[int, int, object]] = deque()
         self._seq = 0
         self._live = 0  # not-cancelled, not-yet-fired events (O(1) pending)
+        self._daemons = 0  # live daemon (observer) events; never keep a run alive
         self.now: int = 0
         self._running = False
         self.events_processed: int = 0
@@ -152,6 +172,27 @@ class Simulator:
         entry = (when, self._seq, fn)
         self._seq += 1
         self._live += 1
+        due = self._due
+        if not due or when >= due[-1][0]:
+            due.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
+
+    def call_daemon(self, delay, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` as a *daemon* (observer) event.
+
+        Daemon events fire like :meth:`call_after` events while model
+        work remains, but they never keep the simulation alive:
+        :meth:`run` returns — without firing them — once only daemon
+        events are left in the queue, so a self-rescheduling sampler
+        cannot spin the run forever or push ``now`` past the last
+        model event. Daemon callbacks must not mutate model state.
+        """
+        when = self._when(delay)
+        entry = (when, self._seq, _Daemon(self, fn))
+        self._seq += 1
+        self._live += 1
+        self._daemons += 1
         due = self._due
         if not due or when >= due[-1][0]:
             due.append(entry)
@@ -261,11 +302,19 @@ class Simulator:
         stopped_early = False
         try:
             if until is None and max_events is None and stop_when is None:
-                # unconditioned drain: the tight loop the experiments use
-                while self.step():
-                    pass
+                if self._daemons:
+                    # stop once only daemon (observer) events remain;
+                    # they never extend the run on their own
+                    while self._live > self._daemons and self.step():
+                        pass
+                else:
+                    # unconditioned drain: the tight loop the experiments use
+                    while self.step():
+                        pass
             else:
                 while True:
+                    if self._live <= self._daemons:
+                        break
                     nxt = self._next_time()
                     if nxt is None:
                         break

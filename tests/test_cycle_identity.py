@@ -54,3 +54,27 @@ def test_cycles_identical_to_pre_optimization_engine(exp_id, golden):
 
 def test_golden_covers_every_experiment(golden):
     assert set(golden) == set(ALL_EXPERIMENTS) == set(CONFIGS)
+
+
+# ----------------------------------------------------------------------
+# Observed vs unobserved: attaching the full observability stack
+# (metrics registry, cycle profiler, time-series sampler, tracer) must
+# not change reported simulated cycles — observers are pay-for-what-
+# you-use and daemon sampler ticks never perturb model event order.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exp_id", ["fig8", "fig9"])
+def test_observed_run_cycle_identical(exp_id, golden):
+    from repro.obs.session import ObsConfig, session
+
+    cfg = ObsConfig(sample_interval=500, trace=True, metrics=True, profile=True)
+    with session(cfg) as s:
+        res = ALL_EXPERIMENTS[exp_id](**CONFIGS[exp_id])
+        data = s.data()
+    assert _normalize(res.rows) == golden[exp_id]["rows"], (
+        f"{exp_id}: attaching observers changed simulated cycle counts — "
+        "the zero-overhead contract is broken"
+    )
+    # and the observers actually observed something
+    assert data["records"], "session saw no machines"
+    assert any(r.get("samples", {}).get("samples") for r in data["records"])
+    assert data["cycle_attribution"]["total_cycles"] > 0

@@ -331,3 +331,89 @@ class TestResource:
         r.acquire(10)
         r.acquire(7)
         assert r.total_busy == 17
+
+
+class TestDaemonEvents:
+    """call_daemon: observer events that never keep the run alive."""
+
+    def test_daemon_fires_while_model_work_remains(self):
+        sim = Simulator()
+        seen = []
+        sim.call_daemon(5, lambda: seen.append(sim.now))
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert seen == [5]
+
+    def test_pending_daemon_does_not_extend_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: None)
+        sim.call_daemon(50, lambda: seen.append(True))
+        sim.run()
+        assert seen == []          # never fired: no model work at t=50
+        assert sim.now == 10       # the clock stopped at the last model event
+
+    def test_daemon_only_queue_runs_nothing(self):
+        sim = Simulator()
+        seen = []
+        sim.call_daemon(5, lambda: seen.append(True))
+        sim.run()
+        assert seen == [] and sim.now == 0
+
+    def test_self_rescheduling_daemon_terminates(self):
+        """The sampler pattern: a daemon that re-arms itself must not
+        keep the run alive once model work is done."""
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if sim._live > sim._daemons:
+                sim.call_daemon(10, tick)
+
+        sim.call_daemon(10, tick)
+        sim.schedule(35, lambda: None)
+        sim.run()
+        assert ticks == [10, 20, 30]
+        assert sim.now == 35
+
+    def test_daemon_preserves_model_order_and_clock(self):
+        """Interleaved daemons must not reorder model events."""
+        def run(with_daemon):
+            sim = Simulator()
+            order = []
+            for t in (3, 7, 7, 12):
+                sim.schedule(t, lambda t=t: order.append((t, sim.now)))
+            if with_daemon:
+                for t in (1, 3, 7, 11):
+                    sim.call_daemon(t, lambda: None)
+            sim.run()
+            return order, sim.now
+
+        assert run(False) == run(True)
+
+    def test_daemon_respects_until_and_max_events(self):
+        sim = Simulator()
+        seen = []
+        sim.call_daemon(5, lambda: seen.append("d"))
+        sim.schedule(10, lambda: seen.append("m"))
+        sim.run(until=7)
+        assert seen == ["d"]
+        sim.run()
+        assert seen == ["d", "m"]
+
+    def test_run_with_until_stops_on_daemon_only_queue(self):
+        """A queued daemon must not fire after the last model event,
+        and the clock behaves exactly as it would unobserved (run with
+        ``until`` advances to ``until`` on a drained queue)."""
+        fired = []
+        def run(with_daemon):
+            sim = Simulator()
+            sim.schedule(5, lambda: None)
+            if with_daemon:
+                sim.call_daemon(8, lambda: fired.append(True))
+            sim.run(until=100)
+            return sim.now
+
+        assert run(True) == run(False)
+        assert fired == []

@@ -99,9 +99,59 @@ class TestTracer:
         path = tmp_path / "trace.jsonl"
         n = tracer.to_jsonl(str(path))
         lines = path.read_text().strip().splitlines()
-        assert len(lines) == n
-        first = json.loads(lines[0])
+        # metadata line first, then one line per event
+        assert len(lines) == n + 1
+        meta = json.loads(lines[0])["meta"]
+        assert meta["events"] == n
+        assert meta["dropped"] == 0
+        assert meta["complete"] is True
+        first = json.loads(lines[1])
         assert {"time", "node", "kind", "what"} <= set(first)
+
+    def test_jsonl_meta_reports_drops(self, tmp_path):
+        m = Machine(MachineConfig(n_nodes=4))
+        tracer = Tracer(m, max_events=3)
+        run_workload(m)
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(str(path))
+        meta = json.loads(path.read_text().splitlines()[0])["meta"]
+        assert meta["dropped"] == tracer.dropped > 0
+        assert meta["complete"] is False
+
+    def test_jsonl_round_trip(self, tmp_path):
+        from repro.trace.tracer import from_jsonl
+
+        m, tracer = traced_machine()
+        run_workload(m)
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(str(path))
+        events, meta = from_jsonl(str(path))
+        assert events == tracer.events  # dataclass equality, field by field
+        assert meta["events"] == len(tracer.events)
+
+    def test_trace_event_slots(self):
+        """TraceEvent is slotted: no per-event __dict__ (memory)."""
+        from repro.trace.tracer import TraceEvent
+
+        ev = TraceEvent(1, 0, "packet", "x")
+        assert not hasattr(ev, "__dict__")
+        with pytest.raises(AttributeError):
+            ev.bogus = 1
+
+    def test_handler_and_context_lifecycle_events(self):
+        """Exporters need span ends: handler return + context finish."""
+        m, tracer = traced_machine(kinds={"handler", "context"})
+        run_workload(m)
+        handlers = [ev for ev in tracer.events if ev.kind == "handler"]
+        assert any(ev.detail == "return" for ev in handlers)
+        contexts = [ev for ev in tracer.events if ev.kind == "context"]
+        spawns = [ev for ev in contexts if ev.what == "spawn"]
+        finishes = [ev for ev in contexts if ev.what == "finish"]
+        assert spawns and finishes
+        # spawn/finish pair by context id (the detail's cid prefix)
+        spawn_cids = {ev.detail.partition(":")[0] for ev in spawns}
+        finish_cids = {ev.detail.partition(":")[0] for ev in finishes}
+        assert spawn_cids <= finish_cids
 
     def test_untraced_machine_behaves_identically(self):
         """Tracing must not perturb simulated timing."""
