@@ -28,7 +28,7 @@ from typing import Generator
 import numpy as np
 
 from repro.machine.machine import Machine
-from repro.proc.effects import Compute, Load, Store
+from repro.proc.effects import Compute, Load, LoadAcquire, Store, StoreRelease
 from repro.runtime.bulk import BulkTransfer
 from repro.runtime.reduce import MPTreeReduce
 
@@ -237,11 +237,11 @@ class JacobiApp:
         """
         parity = it & 1
         for d in st.neighbors:
-            yield Store(st.flag_addr[d], it + 1)
+            yield StoreRelease(st.flag_addr[d], it + 1)
         for d, nbr in st.neighbors.items():
             nbr_st = self.states[nbr]
             while True:
-                flag = yield Load(nbr_st.flag_addr[_OPP[d]])
+                flag = yield LoadAcquire(nbr_st.flag_addr[_OPP[d]])
                 if flag >= it + 1:
                     break
                 yield Compute(8)

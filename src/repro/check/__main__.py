@@ -1,0 +1,5 @@
+"""``python -m repro.check`` — gate on run-manifest findings."""
+
+from repro.check.validate import main
+
+raise SystemExit(main())

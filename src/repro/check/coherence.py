@@ -1,0 +1,264 @@
+"""Coherence-invariant sanitizer.
+
+Validates that the per-node caches and the home directories agree —
+live, on every protocol transition, and again at quiescence. The
+checked invariants are the ones the protocol is supposed to maintain
+(and that ``tests/test_properties.py`` spot-checks after the fact):
+
+* **SWMR** — at most one node holds a line MODIFIED/EXCLUSIVE.
+* **directory entry consistency** — after every directory mutation
+  the entry satisfies :meth:`DirEntry.check` (UNOWNED ⇒ no sharers
+  and no owner; SHARED ⇒ sharers non-empty, no owner; EXCLUSIVE ⇒
+  owner set, no sharers). This stays true across LimitLESS pointer
+  overflow: the software-extended sharer list obeys the same shape.
+* **quiescence agreement** — when the machine has quiesced, every
+  M/E line is EXCLUSIVE at its home with the right owner and every
+  SHARED copy appears in its home's sharer set. (The directory *may*
+  track extra, stale sharers — silent evictions never inform home —
+  so only the cache→directory direction is checked.)
+* **protocol quiescence** — no in-flight transactions (MSHRs), busy
+  lines, or queued protocol work survive the run.
+
+The live SWMR check keeps an incremental ``line -> owner nodes``
+index updated from patched ``fill``/``set_state``/``invalidate``.
+Silent LRU evictions bypass those methods, so the index is only a
+*pre-filter*: an apparent violation is re-verified against the actual
+cache states and stale entries are pruned before reporting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.check.report import Finding
+from repro.memory.address import home_of
+from repro.memory.cache import LineState
+from repro.memory.directory import DirState
+from repro.trace.patch import PatchSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+_OWNING = (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+
+class CoherenceSanitizer:
+    """Directory/cache agreement checker for one machine."""
+
+    name = "coherence"
+
+    def __init__(self, machine: "Machine", emit: Callable[[Finding], None]) -> None:
+        self.machine = machine
+        self._emit = emit
+        self._patches = PatchSet()
+        #: line -> nodes believed to hold it M/E (pre-filter index)
+        self._owners: dict[int, set[int]] = {}
+        self._seen: set[tuple] = set()
+        self._attach()
+
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        for node_obj in self.machine.nodes:
+            cache = node_obj.cache
+            directory = node_obj.directory
+            node = node_obj.node_id
+
+            def make_fill(orig, node=node):
+                def checked_fill(line, state):
+                    victim = orig(line, state)
+                    self._note_state(line, node, state)
+                    return victim
+
+                return checked_fill
+
+            def make_set_state(orig, node=node):
+                def checked_set_state(line, state):
+                    orig(line, state)
+                    self._note_state(line, node, state)
+
+                return checked_set_state
+
+            def make_invalidate(orig, node=node):
+                def checked_invalidate(line):
+                    prior = orig(line)
+                    self._drop(line, node)
+                    return prior
+
+                return checked_invalidate
+
+            def make_flush_range(orig, node=node):
+                def checked_flush_range(addr, nbytes):
+                    dropped = orig(addr, nbytes)
+                    for line, _prior in dropped:
+                        self._drop(line, node)
+                    return dropped
+
+                return checked_flush_range
+
+            self._patches.patch(cache, "fill", make_fill)
+            self._patches.patch(cache, "set_state", make_set_state)
+            self._patches.patch(cache, "invalidate", make_invalidate)
+            self._patches.patch(cache, "flush_range", make_flush_range)
+
+            def make_dir_mut(orig, directory=directory, node=node):
+                def checked_mut(line, *args, **kwargs):
+                    result = orig(line, *args, **kwargs)
+                    self._check_entry(directory, line, node)
+                    return result
+
+                return checked_mut
+
+            for meth in ("add_sharer", "set_exclusive", "clear", "drop_sharer"):
+                self._patches.patch(directory, meth, make_dir_mut)
+
+    def detach(self) -> None:
+        self._patches.restore()
+
+    # ------------------------------------------------------------------
+    # Live checks
+    # ------------------------------------------------------------------
+    def _note_state(self, line: int, node: int, state: LineState) -> None:
+        if state in _OWNING:
+            holders = self._owners.setdefault(line, set())
+            holders.add(node)
+            if len(holders) > 1:
+                self._verify_swmr(line, holders)
+        else:
+            self._drop(line, node)
+
+    def _drop(self, line: int, node: int) -> None:
+        holders = self._owners.get(line)
+        if holders is not None:
+            holders.discard(node)
+            if not holders:
+                del self._owners[line]
+
+    def _verify_swmr(self, line: int, holders: set[int]) -> None:
+        """Re-verify an apparent multi-owner line against the actual
+        cache states; silent LRU evictions leave stale index entries."""
+        nodes = self.machine.nodes
+        stale = [n for n in holders if nodes[n].cache.state(line) not in _OWNING]
+        holders.difference_update(stale)
+        if len(holders) > 1:
+            key = ("swmr", line, frozenset(holders))
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            self._emit(Finding(
+                checker=self.name,
+                kind="multiple-owners",
+                time=self.machine.sim.now,
+                node=min(holders),
+                addr=line,
+                message=(
+                    f"line {line:#x} held MODIFIED/EXCLUSIVE by nodes "
+                    f"{sorted(holders)} simultaneously"
+                ),
+            ))
+
+    def _check_entry(self, directory, line: int, home: int) -> None:
+        e = directory.peek(line)
+        if e is None:  # pragma: no cover - mutators create the entry
+            return
+        if e.state is DirState.UNOWNED:
+            bad = bool(e.sharers) or e.owner is not None
+        elif e.state is DirState.SHARED:
+            bad = not e.sharers or e.owner is not None
+        else:  # EXCLUSIVE
+            bad = e.owner is None or bool(e.sharers)
+        if bad:
+            key = ("entry", home, line)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            self._emit(Finding(
+                checker=self.name,
+                kind="directory-inconsistent",
+                time=self.machine.sim.now,
+                node=home,
+                addr=line,
+                message=(
+                    f"directory entry for line {line:#x} inconsistent: "
+                    f"state={e.state.value} sharers={sorted(e.sharers)} "
+                    f"owner={e.owner}"
+                ),
+            ))
+
+    # ------------------------------------------------------------------
+    # Quiescence sweep
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        machine = self.machine
+        now = machine.sim.now
+        owners_by_line: dict[int, list[int]] = {}
+        for node_obj in machine.nodes:
+            cache = node_obj.cache
+            for line in cache.resident_lines():
+                st = cache.state(line)
+                home = machine.nodes[home_of(line)]
+                entry = home.directory.peek(line)
+                if st in _OWNING:
+                    owners_by_line.setdefault(line, []).append(node_obj.node_id)
+                    if (
+                        entry is None
+                        or entry.state is not DirState.EXCLUSIVE
+                        or entry.owner != node_obj.node_id
+                    ):
+                        self._emit(Finding(
+                            checker=self.name,
+                            kind="stale-dirty-line",
+                            time=now,
+                            node=node_obj.node_id,
+                            addr=line,
+                            message=(
+                                f"line {line:#x} is {st.value} at node "
+                                f"{node_obj.node_id} but its home directory "
+                                f"says {entry.state.value if entry else 'absent'}"
+                            ),
+                        ))
+                elif st is LineState.SHARED:
+                    if entry is None or node_obj.node_id not in entry.sharers:
+                        self._emit(Finding(
+                            checker=self.name,
+                            kind="untracked-sharer",
+                            time=now,
+                            node=node_obj.node_id,
+                            addr=line,
+                            message=(
+                                f"line {line:#x} cached SHARED at node "
+                                f"{node_obj.node_id} but missing from its "
+                                f"home's sharer set"
+                            ),
+                        ))
+        for line, nodes in owners_by_line.items():
+            if len(nodes) > 1:
+                self._emit(Finding(
+                    checker=self.name,
+                    kind="multiple-owners",
+                    time=now,
+                    node=min(nodes),
+                    addr=line,
+                    message=(
+                        f"line {line:#x} held MODIFIED/EXCLUSIVE by nodes "
+                        f"{sorted(nodes)} at quiescence"
+                    ),
+                ))
+        coh = machine.coherence
+        leftovers = []
+        if any(m for m in coh._mshr.values()):
+            leftovers.append("outstanding MSHR transactions")
+        if coh._line_busy:
+            leftovers.append(f"{len(coh._line_busy)} busy lines")
+        if any(q for q in coh._line_q.values()):
+            leftovers.append("queued protocol requests")
+        if leftovers:
+            self._emit(Finding(
+                checker=self.name,
+                kind="protocol-quiescence",
+                time=now,
+                node=0,
+                message=(
+                    "coherence engine did not quiesce: "
+                    + ", ".join(leftovers)
+                ),
+            ))

@@ -1,0 +1,339 @@
+"""Happens-before data-race detector.
+
+Vector-clock race detection over the simulator's effect stream, in
+the FastTrack style (one epoch per access, full clock per context):
+every execution context carries a vector clock ``{cid: epoch}``;
+per address the detector keeps the last write epoch and the set of
+reads since that write; an access races iff the prior conflicting
+access is not ordered before it (``vc[prior_cid] < prior_epoch``).
+
+Happens-before edges come from every synchronization mechanism the
+machine offers:
+
+=====================================  ===================================
+edge                                   where it is captured
+=====================================  ===================================
+message ``Send`` → handler body        send-time clock snapshot attached
+                                       to the launched ``Message``,
+                                       joined when the handler first steps
+thread spawn / ``Suspend`` resume      patched ``_enqueue_ready`` joins
+                                       the enqueuing context's clock
+``StoreRelease`` → ``LoadAcquire``     per-address release clock
+(locks, SM barriers, SM queues, ...)   (``signal``/``observe`` on the
+                                       address itself)
+``FetchOp`` (atomics)                  acquire **and** release on its
+                                       address
+``Future.resolve`` → ``wait``          ``("future", fid)`` hook key
+``Runtime.make_task`` → task body      ``("task", tid)`` hook key
+MP barrier arrive → release            ``("bar-arr", ...)`` /
+                                       ``("bar-rel", ...)`` hook keys
+MP reduce fold → result delivery       ``("red-arr", ...)`` /
+                                       ``("red-res", ...)`` hook keys
+DMA / ``Storeback``                    via the carrying message's clock
+=====================================  ===================================
+
+Two soundness-preserving approximations (each can only *add* HB
+edges, i.e. hide a race — neither can fabricate one):
+
+* **Sync-address contamination** — an address ever accessed with
+  acquire/release/atomic semantics is treated as a synchronization
+  variable forever; plain accesses to it act as acquire (read) or
+  release (write). This absorbs the store-buffer redo path, which
+  re-issues a blocked ``StoreRelease`` as a plain ``Store``.
+* **Deferred acquire join** — a ``LoadAcquire`` is *issued* cycles
+  before its value arrives, so the release it observes may complete
+  in between. Acquires therefore join the release clock immediately
+  *and again* at the context's next tracked operation, by which time
+  the load has completed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.check.report import Finding
+from repro.proc import effects as fx
+from repro.trace.patch import PatchSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.proc.processor import Context
+
+#: tracked memory-access effects -> access kind
+_ACCESS_KIND = {
+    fx.Load: "load",
+    fx.LoadAcquire: "acquire",
+    fx.Store: "store",
+    fx.StoreRelease: "release",
+    fx.FetchOp: "fetchop",
+}
+
+_RACE_KIND = {
+    ("w", "w"): "write-write",
+    ("w", "r"): "write-read",
+    ("r", "w"): "read-write",
+}
+
+
+def _join(into: dict[int, int], other: dict[int, int]) -> None:
+    for cid, epoch in other.items():
+        if into.get(cid, 0) < epoch:
+            into[cid] = epoch
+
+
+def _site(ctx: "Context") -> str:
+    """Source location of the context's current yield point."""
+    gen = ctx.gen
+    frame = getattr(gen, "gi_frame", None)
+    while True:  # descend the ``yield from`` delegation chain
+        sub = getattr(gen, "gi_yieldfrom", None)
+        sub_frame = getattr(sub, "gi_frame", None)
+        if sub_frame is None:
+            break
+        gen, frame = sub, sub_frame
+    if frame is None:  # pragma: no cover - finished generator
+        return ctx.label or "?"
+    loc = f"{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno}"
+    return f"{loc} ({ctx.label})" if ctx.label else loc
+
+
+class RaceDetector:
+    """Happens-before race detector for one machine.
+
+    Attaches (via :class:`~repro.trace.patch.PatchSet`) to every
+    processor's ``_step``/``_execute``/``_enqueue_ready``/``_finish``
+    and every CMMU's ``launch``; registers itself as a
+    :mod:`repro.check.hooks` sink for runtime-level edges.
+    """
+
+    name = "race"
+
+    def __init__(self, machine: "Machine", emit: Callable[[Finding], None]) -> None:
+        self.machine = machine
+        self._emit = emit
+        self._patches = PatchSet()
+        #: cid -> vector clock {cid: epoch}
+        self._vc: dict[int, dict[int, int]] = {}
+        #: cid -> sync addresses whose release clock must be re-joined
+        self._pending: dict[int, list[int]] = {}
+        #: executing contexts, innermost last (nested ``_step`` extents)
+        self._active: list["Context"] = []
+        #: sync address -> merged clock of every release on it
+        self._rel: dict[int, dict[int, int]] = {}
+        #: hook key -> merged clock of every ``signal`` on it
+        self._slots: dict[tuple, dict[int, int]] = {}
+        #: (dst, mtype, id(operands)) -> FIFO of send-time clocks
+        self._send_clocks: dict[tuple, deque] = {}
+        #: addresses promoted to synchronization variables
+        self._sync: set[int] = set()
+        #: addr -> (cid, epoch, site, time) of the last write
+        self._last_write: dict[int, tuple] = {}
+        #: addr -> {cid: (epoch, site, time)} reads since the last write
+        self._reads: dict[int, dict[int, tuple]] = {}
+        #: dedup: (addr, kind, prior site, site)
+        self._seen: set[tuple] = set()
+        self._attach()
+
+    # ------------------------------------------------------------------
+    # Patching
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        for node_obj in self.machine.nodes:
+            proc = node_obj.processor
+
+            def make_step(orig):
+                def checked_step(ctx, send_value):
+                    if ctx.cid not in self._vc:
+                        vc = self._vc[ctx.cid] = {ctx.cid: 1}
+                        clock = getattr(ctx.msg, "_hb_clock", None)
+                        if clock:
+                            _join(vc, clock)
+                    self._active.append(ctx)
+                    try:
+                        orig(ctx, send_value)
+                    finally:
+                        self._active.pop()
+
+                return checked_step
+
+            def make_execute(orig, node=node_obj.node_id):
+                def checked_execute(ctx, eff):
+                    kind = _ACCESS_KIND.get(eff.__class__)
+                    if kind is not None:
+                        self._access(ctx, eff.addr, kind, node)
+                    elif eff.__class__ is fx.Send:
+                        self._on_send(ctx, eff)
+                    elif eff.__class__ is fx.Suspend:
+                        self._flush(ctx.cid)
+                    orig(ctx, eff)
+
+                return checked_execute
+
+            def make_enqueue(orig):
+                def checked_enqueue(ctx, value, resumed, front=False):
+                    if self._active:
+                        src = self._active[-1]
+                        svc = self._vc.get(src.cid)
+                        if svc is not None and src is not ctx:
+                            self._flush(src.cid)
+                            tvc = self._vc.setdefault(ctx.cid, {ctx.cid: 1})
+                            _join(tvc, svc)
+                            svc[src.cid] = svc.get(src.cid, 0) + 1
+                    orig(ctx, value, resumed, front=front)
+
+                return checked_enqueue
+
+            def make_finish(orig):
+                def checked_finish(ctx, result):
+                    orig(ctx, result)
+                    self._vc.pop(ctx.cid, None)
+                    self._pending.pop(ctx.cid, None)
+
+                return checked_finish
+
+            self._patches.patch(proc, "_step", make_step)
+            self._patches.patch(proc, "_execute", make_execute)
+            self._patches.patch(proc, "_enqueue_ready", make_enqueue)
+            self._patches.patch(proc, "_finish", make_finish)
+
+            def make_launch(orig):
+                def checked_launch(dst, mtype, operands=(), blocks=None):
+                    msg = orig(dst, mtype, operands, blocks)
+                    fifo = self._send_clocks.get((dst, mtype, id(operands)))
+                    if fifo:
+                        msg._hb_clock = fifo.popleft()
+                    return msg
+
+                return checked_launch
+
+            self._patches.patch(node_obj.cmmu, "launch", make_launch)
+
+    def detach(self) -> None:
+        self._patches.restore()
+
+    def finalize(self) -> None:
+        """No quiescence checks of its own (races are reported live)."""
+
+    # ------------------------------------------------------------------
+    # Hook sink (repro.check.hooks)
+    # ------------------------------------------------------------------
+    def signal(self, key: tuple) -> None:
+        ctx = self._active[-1] if self._active else None
+        if ctx is None:
+            return  # driver-level code: no simulated context to order
+        vc = self._vc.get(ctx.cid)
+        if vc is None:  # pragma: no cover - ctx always stepped first
+            return
+        self._flush(ctx.cid)
+        slot = self._slots.setdefault(key, {})
+        _join(slot, vc)
+        vc[ctx.cid] = vc.get(ctx.cid, 0) + 1
+
+    def observe(self, key: tuple) -> None:
+        ctx = self._active[-1] if self._active else None
+        if ctx is None:
+            return
+        vc = self._vc.get(ctx.cid)
+        slot = self._slots.get(key)
+        if vc is not None and slot:
+            _join(vc, slot)
+
+    # ------------------------------------------------------------------
+    # Access processing
+    # ------------------------------------------------------------------
+    def _flush(self, cid: int) -> None:
+        """Apply the deferred acquire joins recorded for ``cid``."""
+        pending = self._pending.get(cid)
+        if not pending:
+            return
+        vc = self._vc[cid]
+        for addr in pending:
+            slot = self._rel.get(addr)
+            if slot:
+                _join(vc, slot)
+        pending.clear()
+
+    def _access(self, ctx: "Context", addr: int, kind: str, node: int) -> None:
+        cid = ctx.cid
+        vc = self._vc.get(cid)
+        if vc is None:  # pragma: no cover - ctx always stepped first
+            vc = self._vc[cid] = {cid: 1}
+        sync = addr in self._sync
+        if not sync and kind in ("acquire", "release", "fetchop"):
+            # first annotated access promotes the address to a sync
+            # variable; stale data-race history for it is dropped
+            self._sync.add(addr)
+            self._last_write.pop(addr, None)
+            self._reads.pop(addr, None)
+            sync = True
+        if sync:
+            if kind in ("load", "acquire"):
+                slot = self._rel.get(addr)
+                if slot:
+                    _join(vc, slot)
+                self._pending.setdefault(cid, []).append(addr)
+            else:  # store / release / fetchop
+                self._flush(cid)
+                if kind == "fetchop":
+                    slot = self._rel.get(addr)
+                    if slot:
+                        _join(vc, slot)
+                slot = self._rel.setdefault(addr, {})
+                _join(slot, vc)
+                vc[cid] = vc.get(cid, 0) + 1
+            return
+
+        # plain data access: race check
+        self._flush(cid)
+        now = self.machine.sim.now
+        site = _site(ctx)
+        epoch = vc[cid]
+        lw = self._last_write.get(addr)
+        if kind == "store":
+            if lw is not None and lw[0] != cid and vc.get(lw[0], 0) < lw[1]:
+                self._report(addr, "w", "w", node, now, lw, site)
+            reads = self._reads.pop(addr, None)
+            if reads:
+                for rcid, rec in reads.items():
+                    if rcid != cid and vc.get(rcid, 0) < rec[0]:
+                        self._report(addr, "r", "w", node, now, (rcid, *rec), site)
+            self._last_write[addr] = (cid, epoch, site, now)
+        else:  # load
+            if lw is not None and lw[0] != cid and vc.get(lw[0], 0) < lw[1]:
+                self._report(addr, "w", "r", node, now, lw, site)
+            self._reads.setdefault(addr, {})[cid] = (epoch, site, now)
+
+    def _on_send(self, ctx: "Context", eff) -> None:
+        cid = ctx.cid
+        vc = self._vc.get(cid)
+        if vc is None:  # pragma: no cover - ctx always stepped first
+            vc = self._vc[cid] = {cid: 1}
+        self._flush(cid)
+        key = (eff.dst, eff.mtype, id(eff.operands))
+        self._send_clocks.setdefault(key, deque()).append(dict(vc))
+        vc[cid] = vc.get(cid, 0) + 1
+
+    def _report(
+        self, addr: int, prior_kind: str, kind: str,
+        node: int, now: int, prior: tuple, site: str,
+    ) -> None:
+        _pcid, _pepoch, psite, ptime = prior
+        race = _RACE_KIND[(prior_kind, kind)]
+        key = (addr, race, psite, site)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._emit(Finding(
+            checker=self.name,
+            kind=race,
+            time=now,
+            node=node,
+            addr=addr,
+            message=(
+                f"unsynchronized {race} pair on {addr:#x} "
+                f"(earlier access at t={ptime})"
+            ),
+            sites=(psite, site),
+        ))

@@ -1,0 +1,56 @@
+"""Happens-before hook points for runtime primitives.
+
+Synchronization objects built *after* a machine was observed (futures,
+tasks, message barriers and reductions — the runtime constructs them
+on demand) cannot be method-patched by the checker at attach time.
+Instead they announce their ordering edges through this module:
+
+* ``signal(key)`` — "everything I did so far happens-before whoever
+  observes ``key``" (a future resolving, a barrier arrival).
+* ``observe(key)`` — "join everything signalled on ``key`` into my
+  clock" (a future's waiter, the barrier's release decision).
+
+Keys are tuples such as ``("future", fid)`` or
+``("bar-rel", id(barrier), node, episode)``; id-based components are
+unique process-wide, so several checked machines can coexist.
+
+When no checker is registered the hooks are dead cheap: callers guard
+with ``if hooks.SINKS:`` (one attribute read and a falsy test), so an
+unchecked run allocates nothing. Registered sinks resolve the calling
+execution context themselves (only the machine actually executing has
+an active context, so foreign machines' sinks no-op).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+
+class HookSink(Protocol):  # pragma: no cover - typing aid
+    def signal(self, key: tuple) -> None: ...
+    def observe(self, key: tuple) -> None: ...
+
+
+#: registered sinks (one per checked machine); empty = checking off
+SINKS: list[Any] = []
+
+
+def signal(key: tuple) -> None:
+    """Publish the calling context's clock under ``key``."""
+    for sink in SINKS:
+        sink.signal(key)
+
+
+def observe(key: tuple) -> None:
+    """Join every clock published under ``key`` into the caller."""
+    for sink in SINKS:
+        sink.observe(key)
+
+
+def register(sink: Any) -> None:
+    SINKS.append(sink)
+
+
+def unregister(sink: Any) -> None:
+    if sink in SINKS:
+        SINKS.remove(sink)

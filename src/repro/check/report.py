@@ -1,0 +1,107 @@
+"""Findings and the mergeable check report.
+
+Every checker reports problems as :class:`Finding` records collected
+into one :class:`CheckReport` per machine. Reports are plain data
+(picklable, JSON-able) so sweep workers ship them back to the parent,
+which merges them **in input order** — checked parallel runs produce
+byte-identical reports at any ``--jobs`` count, exactly like the
+metrics snapshot and cycle attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class Finding:
+    """One checker-reported problem.
+
+    ``sites`` carries source locations (``file.py:lineno (label)``)
+    when the checker can attribute the problem to simulated code — the
+    race detector reports both conflicting access sites, the watchdog
+    the suspension site.
+    """
+
+    checker: str            # "race" | "coherence" | "deadlock"
+    kind: str               # e.g. "write-write", "multiple-owners"
+    time: int               # simulated cycle of detection
+    node: int               # node the finding is attributed to
+    message: str
+    addr: int | None = None
+    sites: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        where = f" @{self.addr:#x}" if self.addr is not None else ""
+        sites = f" [{' vs '.join(self.sites)}]" if self.sites else ""
+        return (
+            f"[{self.time:>10}] n{self.node:<3} {self.checker}:{self.kind}"
+            f"{where} {self.message}{sites}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Findings of one machine (or the merge of many)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: findings discarded once the cap was reached (counts still grow)
+    dropped: int = 0
+    max_findings: int = 1000
+    #: per-checker finding counts, *including* dropped ones
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> None:
+        self.counts[finding.checker] = self.counts.get(finding.checker, 0) + 1
+        if len(self.findings) >= self.max_findings:
+            self.dropped += 1
+            return
+        self.findings.append(finding)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Fold ``other`` in (append order preserved → deterministic)."""
+        for f in other.findings:
+            if len(self.findings) >= self.max_findings:
+                self.dropped += 1
+            else:
+                self.findings.append(f)
+        self.dropped += other.dropped
+        for checker, n in other.counts.items():
+            self.counts[checker] = self.counts.get(checker, 0) + n
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "findings": [asdict(f) for f in self.findings],
+            "dropped": self.dropped,
+            "counts": dict(self.counts),
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckReport":
+        rep = cls()
+        for rec in data.get("findings", ()):
+            rec = dict(rec)
+            rec["sites"] = tuple(rec.get("sites", ()))
+            rep.findings.append(Finding(**rec))
+        rep.dropped = data.get("dropped", 0)
+        rep.counts = dict(data.get("counts", {}))
+        return rep
+
+    def summarize(self) -> str:
+        if not self.total:
+            return "check: no findings"
+        lines = [f"check: {self.total} finding(s)"
+                 + (f" ({self.dropped} beyond the report cap)" if self.dropped else "")]
+        for checker in sorted(self.counts):
+            lines.append(f"  {checker}: {self.counts[checker]}")
+        for f in self.findings[:20]:
+            lines.append(f"  {f}")
+        if len(self.findings) > 20:
+            lines.append(f"  ... ({len(self.findings) - 20} more)")
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Findings gate over ``run.json`` manifests.
+
+``python -m repro.check RUN_JSON [RUN_JSON ...]`` loads the ``check``
+section of each manifest (written by ``repro run --check=...``),
+merges them, prints a summary, and exits non-zero when any finding is
+present — the CI ``check`` job is exactly this command. ``--out
+FILE`` additionally writes the merged findings as JSON (the CI
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.check.report import CheckReport
+
+USAGE = "usage: python -m repro.check [--out FINDINGS_JSON] RUN_JSON [RUN_JSON ...]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    out_path = None
+    if "--out" in args:
+        i = args.index("--out")
+        try:
+            out_path = args[i + 1]
+        except IndexError:
+            print(USAGE, file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if not args or any(a.startswith("-") for a in args):
+        print(USAGE, file=sys.stderr)
+        return 2
+
+    merged = CheckReport()
+    unchecked = []
+    for path in args:
+        with open(path) as fh:
+            manifest = json.load(fh)
+        section = manifest.get("check")
+        if section is None:
+            unchecked.append(path)
+            continue
+        merged.merge(CheckReport.from_dict(section))
+    for path in unchecked:
+        print(f"note: {path} has no check section (run with --check=...)")
+    print(merged.summarize())
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            json.dump(merged.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if merged.total else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

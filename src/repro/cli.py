@@ -116,6 +116,7 @@ def run_experiment(
     trace_out: str | None = None,
     sample_interval: int = 0,
     trace_kinds: str = "packet,handler,context",
+    check: str | None = None,
 ) -> str:
     fn = ALL_EXPERIMENTS[exp_id]
     kwargs = dict(QUICK_ARGS[exp_id]) if quick else {}
@@ -138,8 +139,16 @@ def run_experiment(
             kwargs["loss_rates"] = (0.0, fault_rate)
         if fault_seed is not None:
             kwargs["seed"] = fault_seed
+    checks: tuple[str, ...] = ()
+    if check:
+        from repro.check import validate_checks
+
+        try:
+            checks = validate_checks(k for k in check.split(",") if k)
+        except ValueError as exc:
+            raise SystemExit(f"--check: {exc}")
     obs_cfg = None
-    if metrics_out or trace_out or sample_interval:
+    if metrics_out or trace_out or sample_interval or checks:
         from repro.obs.session import ObsConfig
 
         if sample_interval < 0:
@@ -148,6 +157,7 @@ def run_experiment(
             sample_interval=sample_interval,
             trace=bool(trace_out),
             trace_kinds=tuple(k for k in trace_kinds.split(",") if k),
+            check=checks,
         )
 
     def invoke():
@@ -180,6 +190,11 @@ def run_experiment(
         out += "\n" + _write_obs_outputs(
             exp_id, kwargs, wall, obs_data, metrics_out, trace_out
         )
+        if checks:
+            from repro.check import CheckReport
+
+            report = CheckReport.from_dict(obs_data.get("check") or {})
+            out += "\n" + report.summarize()
     return out
 
 
@@ -225,6 +240,9 @@ def _write_obs_outputs(
             "machines": len(data["records"]),
             "simulated_cycles": sum(r["cycles"] for r in data["records"]),
         }
+        extra = {}
+        if data.get("check") is not None:
+            extra["check"] = data["check"]
         write_run_manifest(
             metrics_out,
             experiment=exp_id,
@@ -233,6 +251,7 @@ def _write_obs_outputs(
             metrics=data["metrics"],
             cycle_attribution=data["cycle_attribution"],
             samples=[r["samples"] for r in data["records"] if "samples" in r],
+            **extra,
         )
         n_rows = len(data["metrics"]["rows"]) if data["metrics"] else 0
         lines.append(f"wrote run manifest ({n_rows} metric rows) -> {metrics_out}")
@@ -324,6 +343,12 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated trace kinds for --trace-out "
         "(default: packet,handler,context)",
     )
+    runp.add_argument(
+        "--check", default=None, metavar="C1,C2",
+        help="attach dynamic checkers (race,coherence,deadlock); "
+        "findings are printed, and written into --metrics-out "
+        "manifests for 'python -m repro.check' to gate on",
+    )
     if argv is None:
         argv = sys.argv[1:]
     # 'python -m repro.cli fig8_accum ...': an experiment id or module
@@ -364,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
                 trace_out=args.trace_out,
                 sample_interval=args.sample_interval,
                 trace_kinds=args.trace_kinds,
+                check=args.check,
             )
         )
         print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")

@@ -41,7 +41,7 @@ RUN_MANIFEST_REQUIRED = (
 RUN_MANIFEST_SCHEMA = "repro-run/1"
 
 #: trace-event kinds rendered as instants (everything not a span)
-_INSTANT_KINDS = {"packet", "txn", "effect", "fault"}
+_INSTANT_KINDS = {"packet", "txn", "effect", "fault", "check"}
 
 
 def _as_tuples(events: Iterable[Any]) -> list[tuple]:

@@ -76,6 +76,8 @@ _EFFECT_BUCKET = {
     fx.Compute: "compute",
     fx.Load: None,
     fx.Store: None,
+    fx.LoadAcquire: None,
+    fx.StoreRelease: None,
     fx.FetchOp: None,
     fx.Prefetch: "cache_hit",
     fx.Send: "msg_send",

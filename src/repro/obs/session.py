@@ -27,6 +27,7 @@ from repro.obs.profiler import CycleProfiler, merge_attribution
 from repro.obs.sampler import TimeSampler
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.check import CheckReport
     from repro.machine.machine import Machine
     from repro.perf.sweep import SweepPoint
 
@@ -47,13 +48,21 @@ class ObsConfig:
     metrics: bool = True
     #: attach the cycle-attribution profiler
     profile: bool = True
+    #: dynamic checkers to attach ("race", "coherence", "deadlock");
+    #: empty tuple disables checking entirely
+    check: tuple[str, ...] = ()
     max_trace_events: int = 200_000
     max_samples: int = 100_000
+    max_findings: int = 1000
 
     @property
     def enabled(self) -> bool:
         return bool(
-            self.sample_interval or self.trace or self.metrics or self.profile
+            self.sample_interval
+            or self.trace
+            or self.metrics
+            or self.profile
+            or self.check
         )
 
 
@@ -72,6 +81,7 @@ class ObsSession:
         self.records: list[dict] = []
         self.metrics: MetricsSnapshot | None = None
         self.attribution: dict | None = None
+        self.check: "CheckReport | None" = None
 
     # ------------------------------------------------------------------
     def observe(self, machine: "Machine", label: str = "") -> None:
@@ -92,17 +102,41 @@ class ObsSession:
             tracer = Tracer(
                 machine, kinds=cfg.trace_kinds, max_events=cfg.max_trace_events
             )
+        checkers = None
+        if cfg.check:
+            from repro.check import CheckerSet
+
+            # attach last (detach first): the checkers wrap some of the
+            # same processor methods the tracer/profiler wrap
+            on_finding = None
+            if tracer is not None:
+                def on_finding(f, tracer=tracer):
+                    tracer.record(f.node, "check", f.kind, f.message)
+            checkers = CheckerSet(
+                machine,
+                checks=cfg.check,
+                max_findings=cfg.max_findings,
+                on_finding=on_finding,
+            )
         if label == "":
             label = f"m{len(self._observed) + len(self.records)}"
-        self._observed.append((machine, label, tracer, profiler, sampler))
+        self._observed.append((machine, label, tracer, profiler, sampler, checkers))
 
     def _finalize(self, rec: tuple[Any, ...]) -> None:
-        machine, label, tracer, profiler, sampler = rec
+        machine, label, tracer, profiler, sampler, checkers = rec
         out: dict[str, Any] = {
             "label": label,
             "n_nodes": machine.n_nodes,
             "cycles": machine.sim.now,
         }
+        if checkers is not None:
+            report = checkers.finalize()  # detaches before the tracer
+            out["check"] = report.as_dict()
+            if self.check is None:
+                from repro.check import CheckReport
+
+                self.check = CheckReport(max_findings=self.cfg.max_findings)
+            self.check.merge(report)
         if tracer is not None:
             out["trace"] = [
                 (e.time, e.node, e.kind, e.what, e.detail) for e in tracer.events
@@ -153,6 +187,13 @@ class ObsSession:
                     "per_node": {},
                 }
             merge_attribution(self.attribution, data["cycle_attribution"])
+        if data.get("check") is not None:
+            from repro.check import CheckReport
+
+            report = CheckReport.from_dict(data["check"])
+            if self.check is None:
+                self.check = CheckReport(max_findings=self.cfg.max_findings)
+            self.check.merge(report)
 
     def data(self) -> dict:
         """Finalize any still-live observers and return everything as
@@ -164,6 +205,7 @@ class ObsSession:
             "records": self.records,
             "metrics": self.metrics.as_dict() if self.metrics else None,
             "cycle_attribution": self.attribution,
+            "check": self.check.as_dict() if self.check else None,
         }
 
 

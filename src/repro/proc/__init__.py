@@ -6,11 +6,13 @@ from repro.proc.effects import (
     Fence,
     FetchOp,
     Load,
+    LoadAcquire,
     Prefetch,
     Send,
     SetIMask,
     Store,
     Storeback,
+    StoreRelease,
     Suspend,
     Yield,
 )
@@ -23,6 +25,7 @@ __all__ = [
     "Fence",
     "FetchOp",
     "Load",
+    "LoadAcquire",
     "Prefetch",
     "Processor",
     "ProcessorStats",
@@ -30,6 +33,7 @@ __all__ = [
     "SetIMask",
     "Store",
     "Storeback",
+    "StoreRelease",
     "Suspend",
     "Yield",
 ]

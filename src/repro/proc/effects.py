@@ -52,6 +52,25 @@ class Store:
 
 
 @dataclass
+class LoadAcquire(Load):
+    """A :class:`Load` annotated with acquire semantics for the
+    dynamic checkers (``repro.check``): reading this word may publish
+    another thread's prior writes (a lock word, a ready flag). The
+    processor executes it exactly like a plain Load — the annotation
+    carries zero timing meaning — but the happens-before race detector
+    joins the releaser's clock instead of reporting a data race on the
+    synchronization word itself."""
+
+
+@dataclass
+class StoreRelease(Store):
+    """A :class:`Store` annotated with release semantics for the
+    dynamic checkers: writing this word publishes every prior write of
+    this thread to whoever load-acquires it (a lock release, a flag
+    set). Timing-identical to a plain Store."""
+
+
+@dataclass
 class Prefetch:
     """Non-binding read-shared prefetch; resumes after the issue cost
     while the fill proceeds in the background."""
@@ -124,6 +143,6 @@ class Yield:
 
 
 Effect = (
-    Compute | Load | Store | Prefetch | FetchOp | Send | Storeback | SetIMask
-    | Suspend | Yield | Fence
+    Compute | Load | Store | LoadAcquire | StoreRelease | Prefetch | FetchOp
+    | Send | Storeback | SetIMask | Suspend | Yield | Fence
 )

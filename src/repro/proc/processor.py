@@ -500,6 +500,10 @@ _EFFECT_DISPATCH = {
     fx.Compute: Processor._eff_compute,
     fx.Load: Processor._eff_load,
     fx.Store: Processor._eff_store,
+    # acquire/release-annotated accesses execute on the identical
+    # handlers — the annotation exists only for repro.check
+    fx.LoadAcquire: Processor._eff_load,
+    fx.StoreRelease: Processor._eff_store,
     fx.FetchOp: Processor._eff_fetch_op,
     fx.Fence: Processor._eff_fence,
     fx.Prefetch: Processor._eff_prefetch,

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from typing import Generator
 
+from repro.check import hooks
 from repro.machine.machine import Machine
-from repro.proc.effects import Compute, Load, Send, Store, Suspend
+from repro.proc.effects import Compute, LoadAcquire, Send, StoreRelease, Suspend
 from repro.runtime.reliable import ReliableLayer
 
 MSG_BAR_ARRIVE = "bar.arrive"
@@ -73,7 +74,7 @@ class SMTreeBarrier:
 
     def _spin_until(self, addr: int, value: int) -> Generator:
         while True:
-            v = yield Load(addr)
+            v = yield LoadAcquire(addr)
             if v >= value:
                 return
             yield Compute(self.spin_backoff)
@@ -88,11 +89,11 @@ class SMTreeBarrier:
         for c in self.children[node]:
             yield from self._spin_until(self.arrive_addr[c], episode)
         if self.parent[node] is not None:
-            yield Store(self.arrive_addr[node], episode)
+            yield StoreRelease(self.arrive_addr[node], episode)
             yield from self._spin_until(self.release_addr[node], episode)
         # wake the children (write into lines homed at each child)
         for c in self.children[node]:
-            yield Store(self.release_addr[c], episode)
+            yield StoreRelease(self.release_addr[c], episode)
 
 
 class MPTreeBarrier:
@@ -168,6 +169,11 @@ class MPTreeBarrier:
             (episode,) = msg.operands
             yield Compute(self.arrive_cost)
             self._arrived[node][episode] = self._arrived[node].get(episode, 0) + 1
+            if hooks.SINKS:
+                # the arrival count lives in a Python dict shared by
+                # many handler contexts; publish this arriver's clock
+                # so the eventual release inherits it
+                hooks.signal(("bar-arr", id(self), node, episode))
             yield from self._maybe_advance(node, episode)
 
         return handler
@@ -178,6 +184,8 @@ class MPTreeBarrier:
             return
         if not self._leader_local_arrived(node, episode):
             return
+        if hooks.SINKS:
+            hooks.observe(("bar-arr", id(self), node, episode))
         self._arrived[node].pop(episode, None)
         if node == 0:
             yield from self._release(0, episode)
@@ -189,6 +197,8 @@ class MPTreeBarrier:
 
     def _release(self, node: int, episode: int) -> Generator:
         """Wake the local waiter and fan the release out."""
+        if hooks.SINKS:
+            hooks.signal(("bar-rel", id(self), node, episode))
         self._released[node].add(episode)
         resume = self._waiters[node].pop(episode, None)
         if resume is not None:
@@ -213,6 +223,8 @@ class MPTreeBarrier:
             if node in self.leaders and node != 0:
                 yield from self._release(node, episode)
             else:
+                if hooks.SINKS:
+                    hooks.signal(("bar-rel", id(self), node, episode))
                 self._released[node].add(episode)
                 resume = self._waiters[node].pop(episode, None)
                 if resume is not None:
@@ -229,11 +241,17 @@ class MPTreeBarrier:
         if node == leader:
             # leaders count their own arrival by checking episode state
             yield Compute(self.arrive_cost // 2)
+            if hooks.SINKS:
+                hooks.signal(("bar-arr", id(self), node, episode))
             yield from self._maybe_advance(node, episode)
         else:
             yield from self._send(node, leader, MSG_BAR_ARRIVE, (episode,))
         if episode in self._released[node]:
             self._released[node].discard(episode)
+            if hooks.SINKS:
+                hooks.observe(("bar-rel", id(self), node, episode))
             return
         yield Suspend(lambda resume: self._waiters[node].__setitem__(episode, resume))
         self._released[node].discard(episode)
+        if hooks.SINKS:
+            hooks.observe(("bar-rel", id(self), node, episode))

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.machine.machine import Machine
-from repro.proc.effects import Compute, FetchOp, Load, Store
+from repro.proc.effects import Compute, FetchOp, LoadAcquire, StoreRelease
 from repro.sim.engine import SimulationError
 
 
@@ -45,16 +45,16 @@ class MCSLock:
         self._held_by.add(node)
         me = node + 1  # 0 is the null tail
         # prepare my qnode (local stores)
-        yield Store(self.next_addr[node], 0)
-        yield Store(self.locked_addr[node], 1)
+        yield StoreRelease(self.next_addr[node], 0)
+        yield StoreRelease(self.locked_addr[node], 1)
         # swap myself in as the tail
         pred = yield FetchOp(self.tail_addr, lambda _v, me=me: me)
         if pred == 0:
             return  # uncontended
         # link behind the predecessor and spin on MY OWN flag
-        yield Store(self.next_addr[pred - 1], me)
+        yield StoreRelease(self.next_addr[pred - 1], me)
         while True:
-            v = yield Load(self.locked_addr[node])
+            v = yield LoadAcquire(self.locked_addr[node])
             if v == 0:
                 break
             yield Compute(self.spin_backoff)
@@ -64,7 +64,7 @@ class MCSLock:
         if node not in self._held_by:
             raise SimulationError(f"node {node} releasing an MCS lock it doesn't hold")
         me = node + 1
-        nxt = yield Load(self.next_addr[node])
+        nxt = yield LoadAcquire(self.next_addr[node])
         if nxt == 0:
             # no visible successor: try to swing the tail back to null
             old = yield FetchOp(
@@ -75,10 +75,10 @@ class MCSLock:
                 return  # nobody was waiting
             # a successor is mid-linkage; wait for it to appear
             while True:
-                nxt = yield Load(self.next_addr[node])
+                nxt = yield LoadAcquire(self.next_addr[node])
                 if nxt != 0:
                     break
                 yield Compute(self.spin_backoff)
         # hand the lock directly to the successor (one remote write)
-        yield Store(self.locked_addr[nxt - 1], 0)
+        yield StoreRelease(self.locked_addr[nxt - 1], 0)
         self._held_by.discard(node)

@@ -22,8 +22,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
+from repro.check import hooks
 from repro.machine.machine import Machine
-from repro.proc.effects import Compute, Load, Send, Store, Suspend
+from repro.proc.effects import (
+    Compute,
+    Load,
+    LoadAcquire,
+    Send,
+    Store,
+    StoreRelease,
+    Suspend,
+)
 
 MSG_RED_UP = "red.up"
 MSG_RED_DOWN = "red.down"
@@ -63,7 +72,7 @@ class SMTreeReduce:
 
     def _spin(self, addr: int, episode: int) -> Generator:
         while True:
-            v = yield Load(addr)
+            v = yield LoadAcquire(addr)
             if v >= episode:
                 return
             yield Compute(self.spin_backoff)
@@ -81,14 +90,14 @@ class SMTreeReduce:
             yield Compute(2)  # the combine arithmetic
         if self.parent[node] is not None:
             yield Store(self.value_addr[node], acc)
-            yield Store(self.flag_addr[node], episode)  # flag after data
+            yield StoreRelease(self.flag_addr[node], episode)  # flag after data
             yield from self._spin(self.res_flag[node], episode)
             result = yield Load(self.res_value[node])
         else:
             result = acc
         for c in self.children[node]:
             yield Store(self.res_value[c], result)
-            yield Store(self.res_flag[c], episode)
+            yield StoreRelease(self.res_flag[c], episode)
         return result
 
 
@@ -138,6 +147,9 @@ class MPTreeReduce:
             episode, value = msg.operands
             yield Compute(self.arrive_cost)
             self._fold(node, episode, value)
+            if hooks.SINKS:
+                # accumulator crosses handler contexts via Python dicts
+                hooks.signal(("red-arr", id(self), node, episode))
             yield from self._maybe_up(node, episode)
 
         return handler
@@ -155,6 +167,8 @@ class MPTreeReduce:
             return
         if episode not in self._own[node]:
             return  # leader hasn't contributed yet
+        if hooks.SINKS:
+            hooks.observe(("red-arr", id(self), node, episode))
         own = self._own[node][episode]
         if episode in self._acc[node]:
             total = self.op(self._acc[node].pop(episode), own)
@@ -189,6 +203,8 @@ class MPTreeReduce:
         return handler
 
     def _deliver(self, node: int, episode: int, total: Any) -> None:
+        if hooks.SINKS:
+            hooks.signal(("red-res", id(self), node, episode))
         self._result[node][episode] = total
         resume = self._waiters[node].pop(episode, None)
         if resume is not None:
@@ -215,10 +231,14 @@ class MPTreeReduce:
         if episode in self._result[node]:
             total = self._result[node].pop(episode)
             self._own[node].pop(episode, None)
+            if hooks.SINKS:
+                hooks.observe(("red-res", id(self), node, episode))
             return total
         total = yield Suspend(
             lambda resume: self._waiters[node].__setitem__(episode, resume)
         )
         self._result[node].pop(episode, None)
         self._own[node].pop(episode, None)
+        if hooks.SINKS:
+            hooks.observe(("red-res", id(self), node, episode))
         return total

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from repro.check import hooks
 from repro.machine.machine import Machine
 from repro.runtime.reliable import ReliableLayer
 from repro.runtime.scheduler.base import NodeScheduler
@@ -133,6 +134,10 @@ class Runtime:
     ) -> Task:
         task = Task(factory=factory, home=home, label=label, pinned=pinned)
         self.tasks[task.tid] = task
+        if hooks.SINKS:
+            # publish the forker's clock; Task.body observes it wherever
+            # the task eventually runs (stolen, migrated, or inlined)
+            hooks.signal(("task", task.tid))
         return task
 
     def fork(self, node: int, factory: TaskFactory, label: str = "") -> Generator:

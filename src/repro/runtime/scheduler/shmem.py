@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.proc.effects import Load, Store
+from repro.proc.effects import Load, LoadAcquire, Store, StoreRelease
 from repro.runtime.scheduler.base import NodeScheduler
 from repro.runtime.sync import SpinLock
 from repro.runtime.task import Task
@@ -62,11 +62,11 @@ class SMQueue:
     # shared-memory reference paying full coherence costs.
     def push(self, tid: int) -> Generator:
         yield from self.lock.acquire()
-        tail = yield Load(self.tail_addr)
+        tail = yield LoadAcquire(self.tail_addr)
         yield Store(self.entry_addr(tail, 0), tid)
         for w in range(1, self.entry_words):
             yield Store(self.entry_addr(tail, w), 0)  # args/future words
-        yield Store(self.tail_addr, tail + 1)
+        yield StoreRelease(self.tail_addr, tail + 1)
         yield from self.lock.release()
 
     def _read_entry(self, idx: int) -> Generator:
@@ -78,18 +78,18 @@ class SMQueue:
     def pop_newest(self) -> Generator:
         # unlocked emptiness probe (idle loops poll their own queue
         # constantly; don't take the lock just to find it empty)
-        head = yield Load(self.head_addr)
-        tail = yield Load(self.tail_addr)
+        head = yield LoadAcquire(self.head_addr)
+        tail = yield LoadAcquire(self.tail_addr)
         if head == tail:
             return 0
         yield from self.lock.acquire()
-        head = yield Load(self.head_addr)
-        tail = yield Load(self.tail_addr)
+        head = yield LoadAcquire(self.head_addr)
+        tail = yield LoadAcquire(self.tail_addr)
         if head == tail:
             yield from self.lock.release()
             return 0
         tid = yield from self._read_entry(tail - 1)
-        yield Store(self.tail_addr, tail - 1)
+        yield StoreRelease(self.tail_addr, tail - 1)
         yield from self.lock.release()
         return tid
 
@@ -104,15 +104,15 @@ class SMQueue:
         bounce the victim's lock line — the standard tuning for
         shared-memory work stealing.
         """
-        head = yield Load(self.head_addr)
-        tail = yield Load(self.tail_addr)
+        head = yield LoadAcquire(self.head_addr)
+        tail = yield LoadAcquire(self.tail_addr)
         if head == tail:
             return []
         got = yield from self.lock.acquire_bounded(max_attempts=3)
         if not got:
             return []
-        head = yield Load(self.head_addr)
-        tail = yield Load(self.tail_addr)
+        head = yield LoadAcquire(self.head_addr)
+        tail = yield LoadAcquire(self.tail_addr)
         taken: list[int] = []
         # steal up to half the queue, capped at max_batch — one locked
         # visit amortizes across several migrated tasks, which keeps
@@ -126,7 +126,7 @@ class SMQueue:
             taken.append(tid)
             head += 1
         if taken:
-            yield Store(self.head_addr, head)
+            yield StoreRelease(self.head_addr, head)
         yield from self.lock.release()
         return taken
 
@@ -184,8 +184,8 @@ class ShmemScheduler(NodeScheduler):
         """Unlocked emptiness probe (two shared-memory reads; a remote
         pusher's store invalidates our cached copy, so the next poll
         takes a miss and sees the new tail — self-synchronizing)."""
-        head = yield Load(self.queue.head_addr)
-        tail = yield Load(self.queue.tail_addr)
+        head = yield LoadAcquire(self.queue.head_addr)
+        tail = yield LoadAcquire(self.queue.tail_addr)
         return head != tail
 
     # ------------------------------------------------------------------

@@ -8,37 +8,67 @@
   word. All of its cost is *simulated*: the FetchOp pays the coherence
   protocol's write-ownership transaction, contended spinning bounces
   the lock's cache line exactly as on the real machine.
+
+The acquire/release-annotated effects (:class:`LoadAcquire`,
+:class:`StoreRelease`) and the :mod:`repro.check.hooks` calls are for
+the dynamic checkers only — they execute and cost exactly like their
+plain counterparts.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from typing import Any, Callable, Generator
 
-from repro.proc.effects import Compute, FetchOp, Load, Store, Suspend
+from repro.check import hooks
+from repro.proc.effects import (
+    Compute,
+    FetchOp,
+    Load,
+    LoadAcquire,
+    StoreRelease,
+    Suspend,
+)
 from repro.sim.engine import SimulationError
 
 _future_ids = itertools.count()
 
 
+def _caller_site(depth: int = 2) -> str:
+    """``file.py:lineno`` of the caller ``depth`` frames up."""
+    frame = sys._getframe(depth)
+    fname = frame.f_code.co_filename.rsplit("/", 1)[-1]
+    return f"{fname}:{frame.f_lineno}"
+
+
 class Future:
     """A write-once value with suspend-until-resolved semantics."""
 
-    __slots__ = ("fid", "resolved", "value", "_waiters")
+    __slots__ = ("fid", "resolved", "value", "_waiters", "_resolve_site")
 
     def __init__(self) -> None:
         self.fid = next(_future_ids)
         self.resolved = False
         self.value: Any = None
         self._waiters: list[Callable[[Any], None]] = []
+        self._resolve_site: str | None = None
 
     def resolve(self, value: Any = None) -> None:
         """Resolve and wake every waiter (each re-enters its
         processor's ready queue)."""
+        site = _caller_site()
         if self.resolved:
-            raise SimulationError(f"future #{self.fid} resolved twice")
+            raise SimulationError(
+                f"future #{self.fid} resolved twice: first at "
+                f"{self._resolve_site}, again at {site} "
+                f"(first value {self.value!r}, second {value!r})"
+            )
         self.resolved = True
         self.value = value
+        self._resolve_site = site
+        if hooks.SINKS:
+            hooks.signal(("future", self.fid))
         waiters, self._waiters = self._waiters, []
         for resume in waiters:
             resume(value)
@@ -49,13 +79,19 @@ class Future:
         ``value = yield from fut.wait()``
         """
         if self.resolved:
+            if hooks.SINKS:
+                hooks.observe(("future", self.fid))
             return self.value
         value = yield Suspend(self._waiters.append)
+        if hooks.SINKS:
+            hooks.observe(("future", self.fid))
         return value
 
     def add_waiter(self, resume: Callable[[Any], None]) -> None:
         """Register a raw resume callback (used by scheduler internals)."""
         if self.resolved:
+            if hooks.SINKS:
+                hooks.observe(("future", self.fid))
             resume(self.value)
         else:
             self._waiters.append(resume)
@@ -97,7 +133,7 @@ class SpinLock:
             while True:
                 yield Compute(backoff)
                 backoff = min(backoff * 2, self.spin_backoff_max)
-                v = yield Load(self.addr)
+                v = yield LoadAcquire(self.addr)
                 if v == 0:
                     break
 
@@ -107,7 +143,7 @@ class SpinLock:
         Tests with a read first so a failed attempt does not yank
         write ownership away from the lock holder.
         """
-        v = yield Load(self.addr)
+        v = yield LoadAcquire(self.addr)
         if v:
             return False
         old = yield FetchOp(self.addr, lambda _v: 1)
@@ -138,7 +174,7 @@ class SpinLock:
 
     def release(self) -> Generator:
         """``yield from lock.release()``"""
-        yield Store(self.addr, 0)
+        yield StoreRelease(self.addr, 0)
 
 
 def fetch_increment(addr: int) -> FetchOp:

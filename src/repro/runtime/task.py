@@ -15,6 +15,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Generator
 
+from repro.check import hooks
 from repro.runtime.sync import Future
 
 _task_ids = itertools.count(1)  # 0 is reserved as "no task" in queue words
@@ -52,6 +53,10 @@ class Task:
 
     def body(self, rt, node: int) -> Generator:
         """The task's execution wrapper: run and resolve the future."""
+        if hooks.SINKS:
+            # a stolen descriptor travels through Python-level queue
+            # state; inherit the forker's clock published at make_task
+            hooks.observe(("task", self.tid))
         self.ran_on = node
         result = yield from self.factory(rt, node)
         self.state = TaskState.DONE

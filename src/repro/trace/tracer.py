@@ -30,7 +30,9 @@ from typing import Iterable
 from repro.machine.machine import Machine
 from repro.trace.patch import PatchSet
 
-ALL_KINDS = frozenset({"effect", "packet", "txn", "handler", "context", "fault"})
+ALL_KINDS = frozenset(
+    {"effect", "packet", "txn", "handler", "context", "fault", "check"}
+)
 
 
 @dataclass(slots=True)

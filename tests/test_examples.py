@@ -18,6 +18,7 @@ CASES = {
     "shared_objects.py": ["winner", "move-the-data"],
     "latency_tolerance.py": ["blocking loads", "hardware contexts"],
     "lossy_memcpy.py": ["data ok: True", "fault trace", "slowdown"],
+    "racy_histogram.py": ["finding", "no findings", "race"],
 }
 
 

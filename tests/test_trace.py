@@ -129,6 +129,23 @@ class TestTracer:
         assert events == tracer.events  # dataclass equality, field by field
         assert meta["events"] == len(tracer.events)
 
+    def test_check_kind_round_trips_through_jsonl(self, tmp_path):
+        """Checker findings mirrored into the trace ("check" kind)
+        survive the jsonl export/import round trip."""
+        from repro.trace.tracer import from_jsonl
+
+        m, tracer = traced_machine(kinds={"check"})
+        tracer.record(1, "check", "write-read", "unsynchronized pair on 0x10")
+        run_workload(m)  # ordinary traffic: filtered out by the kind set
+        path = tmp_path / "trace.jsonl"
+        tracer.to_jsonl(str(path))
+        events, meta = from_jsonl(str(path))
+        assert events == tracer.events
+        assert len(events) == 1
+        assert events[0].kind == "check"
+        assert events[0].what == "write-read"
+        assert events[0].detail == "unsynchronized pair on 0x10"
+
     def test_trace_event_slots(self):
         """TraceEvent is slotted: no per-event __dict__ (memory)."""
         from repro.trace.tracer import TraceEvent
