@@ -12,7 +12,11 @@ root so every PR leaves a perf trajectory behind:
    workload through the full machine model (coherence, network,
    processors), reporting simulator events per wall-clock second.
 3. **Sweep wall time** — the full experiment sweep end-to-end at
-   ``--jobs 1`` vs ``--jobs N`` through the parallel SweepRunner.
+   ``--jobs 1`` vs ``--jobs N`` through the parallel SweepRunner, and
+   cold vs warm through the content-addressed run cache
+   (``repro.perf.cache``). Worker-pool startup is measured separately
+   from compute: the pool is persistent and shared across all eight
+   experiments, so its cost is paid once, not per experiment.
 
 CI regression gate::
 
@@ -206,23 +210,45 @@ def workload_bench(repeats: int = 2) -> dict:
 
 
 # ----------------------------------------------------------------------
-# 3. Full experiment sweep, serial vs parallel
+# 3. Full experiment sweep: serial vs parallel, cold vs warm cache
 # ----------------------------------------------------------------------
 def sweep_bench(jobs: int) -> dict:
-    def run_all(n: int) -> float:
-        t0 = time.perf_counter()
-        for exp_id, fn in ALL_EXPERIMENTS.items():
-            fn(jobs=n, **QUICK_ARGS[exp_id])
-        return time.perf_counter() - t0
+    import tempfile
 
-    serial = run_all(1)
-    parallel = run_all(jobs)
+    from repro.perf.cache import RunCache, activate
+    from repro.perf.sweep import warm_pool
+
+    def run_all(n: int) -> tuple[float, str]:
+        t0 = time.perf_counter()
+        tables = [
+            fn(jobs=n, **QUICK_ARGS[exp_id]).format_table()
+            for exp_id, fn in ALL_EXPERIMENTS.items()
+        ]
+        return time.perf_counter() - t0, "\n\n".join(tables)
+
+    serial, _ = run_all(1)
+    # warm the persistent pool first so pool startup is charged once,
+    # separately from the compute time of the 8-experiment sweep
+    pool_startup = warm_pool(jobs)
+    parallel, _ = run_all(jobs)
+    with tempfile.TemporaryDirectory() as td:
+        cache = RunCache(td)
+        with activate(cache):
+            cold, cold_tables = run_all(jobs)
+            warm, warm_tables = run_all(jobs)
+        cache_stats = cache.stats.snapshot()
     return {
         "experiments": list(ALL_EXPERIMENTS),
         "jobs": jobs,
         "serial_wall_sec": round(serial, 2),
+        "pool_startup_sec": round(pool_startup, 3),
         "parallel_wall_sec": round(parallel, 2),
         "parallel_speedup": round(serial / parallel, 2),
+        "cache_cold_wall_sec": round(cold, 2),
+        "cache_warm_wall_sec": round(warm, 3),
+        "cache_warm_speedup": round(cold / max(warm, 1e-9), 1),
+        "cache_tables_identical": cold_tables == warm_tables,
+        "cache": cache_stats,
     }
 
 

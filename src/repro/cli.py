@@ -243,6 +243,8 @@ def _write_obs_outputs(
         extra = {}
         if data.get("check") is not None:
             extra["check"] = data["check"]
+        if data.get("cache") is not None:
+            extra["cache"] = data["cache"]
         write_run_manifest(
             metrics_out,
             experiment=exp_id,
@@ -255,6 +257,12 @@ def _write_obs_outputs(
         )
         n_rows = len(data["metrics"]["rows"]) if data["metrics"] else 0
         lines.append(f"wrote run manifest ({n_rows} metric rows) -> {metrics_out}")
+    if data.get("cache"):
+        c = data["cache"]
+        lines.append(
+            f"run cache: {c.get('hits', 0)} hits, {c.get('misses', 0)} misses "
+            f"({c.get('invalidations', 0)} invalidated)"
+        )
     return "\n".join(lines)
 
 
@@ -349,6 +357,20 @@ def main(argv: list[str] | None = None) -> int:
         "findings are printed, and written into --metrics-out "
         "manifests for 'python -m repro.check' to gate on",
     )
+    runp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run-cache location (default: $REPRO_CACHE_DIR or "
+        "'.repro_cache'); hits replay previous deterministic results "
+        "bit-identically",
+    )
+    runp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the run cache: recompute every sweep point",
+    )
+    runp.add_argument(
+        "--cache-stats", action="store_true",
+        help="print run-cache hit/miss/invalidation counters at the end",
+    )
     if argv is None:
         argv = sys.argv[1:]
     # 'python -m repro.cli fig8_accum ...': an experiment id or module
@@ -373,26 +395,35 @@ def main(argv: list[str] | None = None) -> int:
             "--metrics-out/--trace-out write one file per run; "
             "pick a single experiment instead of 'all'"
         )
-    for exp_id in targets:
-        t0 = time.time()
-        print(
-            run_experiment(
-                exp_id,
-                quick=args.quick,
-                nodes=args.nodes,
-                plot=args.plot,
-                fault_rate=args.fault_rate,
-                fault_seed=args.fault_seed,
-                jobs=args.jobs,
-                profile=args.profile,
-                metrics_out=args.metrics_out,
-                trace_out=args.trace_out,
-                sample_interval=args.sample_interval,
-                trace_kinds=args.trace_kinds,
-                check=args.check,
+    from repro.perf.cache import RunCache, activate
+
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    with activate(cache):
+        for exp_id in targets:
+            t0 = time.time()
+            print(
+                run_experiment(
+                    exp_id,
+                    quick=args.quick,
+                    nodes=args.nodes,
+                    plot=args.plot,
+                    fault_rate=args.fault_rate,
+                    fault_seed=args.fault_seed,
+                    jobs=args.jobs,
+                    profile=args.profile,
+                    metrics_out=args.metrics_out,
+                    trace_out=args.trace_out,
+                    sample_interval=args.sample_interval,
+                    trace_kinds=args.trace_kinds,
+                    check=args.check,
+                )
             )
-        )
-        print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")
+            print(f"[{exp_id} took {time.time() - t0:.1f}s wall]\n")
+    if args.cache_stats:
+        if cache is None:
+            print("run cache: disabled (--no-cache)")
+        else:
+            print(f"run cache [{cache.root}]: {cache.stats.summary()}")
     return 0
 
 

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from repro.analysis.metrics import cycles_to_usec
 from repro.analysis.tables import ExperimentResult
-from repro.experiments.common import make_machine
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.proc.effects import Compute
 from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
 
@@ -64,7 +64,7 @@ def run(n_nodes: int = 64, episodes: int = 4, jobs: int = 1) -> ExperimentResult
         columns=["implementation", "cycles", "usec", "paper_cycles"],
         notes="steady-state episode; paper: 1650 vs 660 cycles on 64 procs",
     )
-    sm, mp = SweepRunner(jobs).map(sweep(n_nodes, episodes))
+    sm, mp = sweep_map(sweep(n_nodes, episodes), jobs)
     for name, cycles in (
         ("shared-memory (binary tree)", sm),
         ("message-passing (8-ary tree)", mp),

@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Sequence
 
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf.sweep import SweepPoint
+
+
+def sweep_map(points: "Sequence[SweepPoint]", jobs: int | None = 1) -> list[Any]:
+    """Run a sweep through :class:`~repro.perf.sweep.SweepRunner`.
+
+    The one seam every experiment shares, so all of them pick up the
+    persistent worker pool and — when a run cache is active
+    (``repro.perf.cache.activate`` / the CLI's default) — incremental
+    cached execution, without per-experiment plumbing."""
+    from repro.perf.sweep import SweepRunner
+
+    return SweepRunner(jobs).map(points)
 
 
 def make_machine(n_nodes: int = 64, **cfg_kw: Any) -> Machine:

@@ -16,8 +16,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.tables import ExperimentResult
-from repro.experiments.common import make_machine, run_thread_timed
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, run_thread_timed, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.faults import FaultInjector, lossy_plan
 from repro.proc.effects import Compute
 from repro.runtime.barrier import MPTreeBarrier
@@ -139,7 +139,7 @@ def run(
     )
     points = sweep(loss_rates, nbytes, n_nodes, episodes, seed)
     measured = dict(zip(((p.kwargs["workload"], p.kwargs["drop"]) for p in points),
-                        SweepRunner(jobs).map(points)))
+                        sweep_map(points, jobs)))
     base: dict[str, int] = {}
     for name in ("memcpy", "barrier"):
         for drop in loss_rates:

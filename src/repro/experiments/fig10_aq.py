@@ -12,8 +12,8 @@ from typing import Sequence
 from repro.analysis.metrics import cycles_to_msec
 from repro.analysis.tables import ExperimentResult
 from repro.apps.aq import aq_parallel, default_integrand, sequential_cycles
-from repro.experiments.common import make_machine
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.runtime.rt import Runtime
 
 #: tolerance sweep — tighter tolerance => bigger recursion tree =>
@@ -65,7 +65,7 @@ def run(
     x0, y0, x1, y1 = DOMAIN
     points = sweep(tols, n_nodes)
     measured = dict(zip(((p.kwargs["tol"], p.kwargs["kind"]) for p in points),
-                        SweepRunner(jobs).map(points)))
+                        sweep_map(points, jobs)))
     for tol in tols:
         seq = sequential_cycles(default_integrand, x0, y0, x1, y1, tol)
         s = {}

@@ -15,8 +15,8 @@ import numpy as np
 
 from repro.analysis.tables import ExperimentResult
 from repro.apps.jacobi import JacobiApp, initial_grid, reference_jacobi
-from repro.experiments.common import make_machine
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, sweep_map
+from repro.perf.sweep import SweepPoint
 
 DEFAULT_GRIDS = (32, 64, 128)
 
@@ -59,7 +59,7 @@ def run(
     )
     points = sweep(grid_sizes, n_nodes, iters)
     measured = dict(zip(((p.kwargs["grid_size"], p.kwargs["mode"]) for p in points),
-                        SweepRunner(jobs).map(points)))
+                        sweep_map(points, jobs)))
     for g in grid_sizes:
         sm = measured[(g, "sm")]
         mp = measured[(g, "mp")]

@@ -11,8 +11,8 @@ from typing import Sequence
 
 from repro.analysis.metrics import mbytes_per_sec
 from repro.analysis.tables import ExperimentResult
-from repro.experiments.common import make_machine, run_thread_timed
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, run_thread_timed, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.proc.effects import Load
 from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
 
@@ -96,7 +96,7 @@ def run(block_sizes: Sequence[int] = DEFAULT_SIZES, jobs: int = 1) -> Experiment
         notes="push copy to an adjacent node; paper anchors at 256 B and 4 KB",
     )
     points = sweep(block_sizes)
-    for point, cycles in zip(points, SweepRunner(jobs).map(points)):
+    for point, cycles in zip(points, sweep_map(points, jobs)):
         name, nbytes = point.kwargs["impl"], point.kwargs["nbytes"]
         res.add(
             block_bytes=nbytes,

@@ -17,8 +17,8 @@ from repro.apps.accum import (
     accum_shared_memory,
     fill_array,
 )
-from repro.experiments.common import make_machine, run_thread_timed
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, run_thread_timed, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.runtime.bulk import BulkTransfer
 
 DEFAULT_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
@@ -86,7 +86,7 @@ def run(block_sizes: Sequence[int] = DEFAULT_SIZES, jobs: int = 1) -> Experiment
     )
     points = sweep(block_sizes)
     cycles = dict(zip(((p.kwargs["nbytes"], p.kwargs["impl"]) for p in points),
-                      SweepRunner(jobs).map(points)))
+                      sweep_map(points, jobs)))
     for nbytes in block_sizes:
         sm_cycles = cycles[(nbytes, "sm")]
         mp_cycles = cycles[(nbytes, "mp")]

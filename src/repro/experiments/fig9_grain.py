@@ -11,8 +11,8 @@ from typing import Sequence
 from repro.analysis.metrics import cycles_to_msec
 from repro.analysis.tables import ExperimentResult
 from repro.apps.grain import grain_parallel, sequential_cycles
-from repro.experiments.common import make_machine
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.runtime.rt import Runtime
 
 DEFAULT_DELAYS = (0, 100, 200, 400, 600, 800, 1000)
@@ -69,7 +69,7 @@ def run(
     )
     points = sweep(delays, depth, n_nodes)
     measured = dict(zip(((p.kwargs["delay"], p.kwargs["kind"]) for p in points),
-                        SweepRunner(jobs).map(points)))
+                        sweep_map(points, jobs)))
     for delay in delays:
         seq = sequential_cycles(depth, delay)
         s = {kind: seq / measured[(delay, kind)] for kind in ("hybrid", "sm")}

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from repro.analysis.metrics import cycles_to_usec
 from repro.analysis.tables import ExperimentResult
-from repro.experiments.common import make_machine
-from repro.perf.sweep import SweepPoint, SweepRunner
+from repro.experiments.common import make_machine, sweep_map
+from repro.perf.sweep import SweepPoint
 from repro.proc.effects import Compute
 from repro.runtime.rt import Runtime
 
@@ -81,7 +81,7 @@ def run(n_nodes: int = 64, trials: int = 8, jobs: int = 1) -> ExperimentResult:
         notes="mean over staggered trials inside the full scheduler",
     )
     points = sweep(n_nodes, trials)
-    measured = dict(zip((p.kwargs["kind"] for p in points), SweepRunner(jobs).map(points)))
+    measured = dict(zip((p.kwargs["kind"] for p in points), sweep_map(points, jobs)))
     for kind, label in (("sm", "shared-memory"), ("hybrid", "message-based")):
         invoker, invokee = measured[kind]
         res.add(

@@ -82,6 +82,17 @@ class ObsSession:
         self.metrics: MetricsSnapshot | None = None
         self.attribution: dict | None = None
         self.check: "CheckReport | None" = None
+        self.cache_stats: dict[str, int] | None = None
+        self._cache_rows_added = False
+
+    def note_cache(self, stats: dict[str, int]) -> None:
+        """Fold one sweep's run-cache counter movement (hits, misses,
+        invalidations, ...) into the session (called by SweepRunner)."""
+        if self.cache_stats is None:
+            self.cache_stats = dict(stats)
+            return
+        for key, value in stats.items():
+            self.cache_stats[key] = self.cache_stats.get(key, 0) + value
 
     # ------------------------------------------------------------------
     def observe(self, machine: "Machine", label: str = "") -> None:
@@ -194,6 +205,8 @@ class ObsSession:
             if self.check is None:
                 self.check = CheckReport(max_findings=self.cfg.max_findings)
             self.check.merge(report)
+        if data.get("cache") is not None:
+            self.note_cache(data["cache"])
 
     def data(self) -> dict:
         """Finalize any still-live observers and return everything as
@@ -201,11 +214,25 @@ class ObsSession:
         pending, self._observed = self._observed, []
         for rec in pending:
             self._finalize(rec)
+        if (
+            self.cache_stats is not None
+            and self.metrics is not None
+            and not self._cache_rows_added
+        ):
+            # surface run-cache counters in the metrics snapshot, so
+            # run.json carries them alongside the component metrics
+            self._cache_rows_added = True
+            self.metrics.rows.extend(
+                {"name": f"sweep.cache.{key}", "kind": "counter",
+                 "labels": {}, "value": value}
+                for key, value in sorted(self.cache_stats.items())
+            )
         return {
             "records": self.records,
             "metrics": self.metrics.as_dict() if self.metrics else None,
             "cycle_attribution": self.attribution,
             "check": self.check.as_dict() if self.check else None,
+            "cache": dict(self.cache_stats) if self.cache_stats else None,
         }
 
 

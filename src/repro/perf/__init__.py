@@ -1,9 +1,50 @@
-"""Host-speed tooling: parallel sweep execution and profiling.
+"""Host-speed tooling: parallel + incremental sweep execution, the
+content-addressed run cache, and profiling.
 
 See ``docs/PERFORMANCE.md`` for the architecture.
+
+``repro.perf.cache`` names are re-exported lazily (PEP 562) so that
+``python -m repro.perf.cache`` does not import the module twice.
 """
 
 from repro.perf.profile import run_profiled
-from repro.perf.sweep import SweepPoint, SweepRunner, default_jobs, run_point
+from repro.perf.sweep import (
+    SweepPoint,
+    SweepRunner,
+    default_jobs,
+    run_point,
+    shutdown_pools,
+    warm_pool,
+)
 
-__all__ = ["SweepPoint", "SweepRunner", "default_jobs", "run_point", "run_profiled"]
+_CACHE_EXPORTS = {
+    "RunCache",
+    "activate",
+    "code_fingerprint",
+    "repo_fingerprint",
+    "cache_current",
+}
+
+
+def __getattr__(name):
+    if name in _CACHE_EXPORTS:
+        from repro.perf import cache
+
+        return getattr(cache, "current" if name == "cache_current" else name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "SweepPoint",
+    "SweepRunner",
+    "RunCache",
+    "activate",
+    "cache_current",
+    "code_fingerprint",
+    "repo_fingerprint",
+    "default_jobs",
+    "run_point",
+    "run_profiled",
+    "shutdown_pools",
+    "warm_pool",
+]

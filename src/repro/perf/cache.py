@@ -1,0 +1,590 @@
+"""Content-addressed run cache for deterministic sweep points.
+
+Every sweep point is a pure function of its descriptor: the module-
+qualified ``fn`` plus plain-data kwargs fully determine the result
+(seeds travel inside the kwargs, and serial/parallel cycle identity is
+a tested invariant). That makes memoization sound by construction —
+the only way a cached result can go stale is the *code* changing, so
+the cache key is built from three parts:
+
+* **descriptor hash** — SHA-256 over the schema version, the ``fn``
+  spec, and the sorted kwargs items;
+* **code fingerprint** — SHA-256 over the source of the point
+  function's module plus every ``repro`` module it transitively
+  imports (static ``ast`` walk, memoized by mtime/size). Editing any
+  module in that closure changes the fingerprint, so only the points
+  that could be affected re-run;
+* **observation key** — ``repr()`` of the active
+  :class:`~repro.obs.session.ObsConfig` (empty when unobserved), since
+  an observed run caches its observation payload alongside the result.
+
+Entries live under ``<cache-dir>/objects/<k[:2]>/<k>.pkl`` as a
+SHA-256 digest line followed by a pickled payload; a digest mismatch
+(truncated or bit-flipped file) is detected on load, counted as
+*corrupt*, and the point transparently re-runs. A sidecar under
+``costs/`` remembers each point's last measured wall cost *keyed
+without the fingerprint*, so after a code edit the scheduler still
+knows which points were expensive (longest-cost-first dispatch) and a
+missing entry whose cost sidecar exists is counted as an
+*invalidation* rather than a plain miss.
+
+Maintenance tool::
+
+    python -m repro.perf.cache stats   [--cache-dir D]
+    python -m repro.perf.cache gc      [--max-age-days N] [--max-bytes B] [--all]
+    python -m repro.perf.cache verify  [--sample N] [--seed S] [--fix]
+    python -m repro.perf.cache fingerprint        # repo-wide, for CI cache keys
+    python -m repro.perf.cache bench   [--min-speedup X] [--jobs N]
+
+``verify`` re-runs a random sample of cached points from scratch and
+compares results bit-for-bit (pickled bytes) — the defence against a
+stale or corrupted cache silently feeding a table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import importlib.util
+import json
+import os
+import pickle
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf.sweep import SweepPoint
+
+#: bump to orphan every existing entry (schema migrations)
+CACHE_SCHEMA = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_PICKLE_PROTO = 4
+
+
+# ----------------------------------------------------------------------
+# Code fingerprinting: static import closure over the repro package
+# ----------------------------------------------------------------------
+_PATHS: dict[str, str | None] = {}
+_SRC_HASH: dict[str, tuple[tuple[int, int], str]] = {}
+_IMPORTS: dict[str, tuple[tuple[int, int], frozenset[str]]] = {}
+
+
+def _module_path(modname: str) -> str | None:
+    """Source file of ``modname`` (None for builtins / missing)."""
+    if modname in _PATHS:
+        return _PATHS[modname]
+    try:
+        spec = importlib.util.find_spec(modname)
+    except (ImportError, ValueError):
+        spec = None
+    origin = spec.origin if spec is not None else None
+    path = origin if origin and origin.endswith(".py") else None
+    _PATHS[modname] = path
+    return path
+
+
+def _stat_key(path: str) -> tuple[int, int]:
+    st = os.stat(path)
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _source_hash(path: str) -> str:
+    """SHA-256 of a source file, memoized by (mtime_ns, size)."""
+    key = _stat_key(path)
+    cached = _SRC_HASH.get(path)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    digest = hashlib.sha256(Path(path).read_bytes()).hexdigest()
+    _SRC_HASH[path] = (key, digest)
+    return digest
+
+
+def _with_ancestors(modname: str) -> list[str]:
+    parts = modname.split(".")
+    return [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def _imports_of(modname: str, path: str) -> frozenset[str]:
+    """``repro.*`` modules statically imported by one source file."""
+    key = _stat_key(path)
+    cached = _IMPORTS.get(path)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    out: set[str] = set()
+    try:
+        tree = ast.parse(Path(path).read_text())
+    except SyntaxError:
+        tree = ast.Module(body=[], type_ignores=[])
+    is_pkg = os.path.basename(path) == "__init__.py"
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    out.update(_with_ancestors(alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                pkg_parts = modname.split(".") if is_pkg else modname.split(".")[:-1]
+                if node.level > 1:
+                    pkg_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(pkg_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            if base.split(".")[0] != "repro":
+                continue
+            out.update(_with_ancestors(base))
+            # `from repro.perf import sweep` names a submodule, not an attr
+            for alias in node.names:
+                candidate = f"{base}.{alias.name}"
+                if _module_path(candidate) is not None:
+                    out.add(candidate)
+    found = frozenset(out)
+    _IMPORTS[path] = (key, found)
+    return found
+
+
+def import_closure(modname: str) -> dict[str, str]:
+    """The point module plus its transitive ``repro`` imports, as
+    ``{module: source-path}`` (unresolvable modules are skipped)."""
+    seen: dict[str, str] = {}
+    stack = [modname]
+    while stack:
+        mod = stack.pop()
+        if mod in seen:
+            continue
+        path = _module_path(mod)
+        if path is None:
+            continue
+        seen[mod] = path
+        for dep in _imports_of(mod, path):
+            if dep not in seen:
+                stack.append(dep)
+    return seen
+
+
+def code_fingerprint(modname: str) -> str:
+    """Fingerprint of ``modname`` and everything it could reach inside
+    the ``repro`` package; changes iff any of that source changes."""
+    closure = import_closure(modname)
+    if not closure:
+        return f"unresolved:{modname}"
+    h = hashlib.sha256()
+    for mod in sorted(closure):
+        h.update(f"{mod}={_source_hash(closure[mod])}\n".encode())
+    return h.hexdigest()
+
+
+def repo_fingerprint() -> str:
+    """Fingerprint over *every* ``repro`` source file — the coarse key
+    CI uses for ``actions/cache`` (any code change → new cache key)."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(f"{path.relative_to(root)}={_source_hash(str(path))}\n".encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+class CacheStats:
+    """Hit/miss accounting for one :class:`RunCache` instance."""
+
+    FIELDS = ("hits", "misses", "stores", "invalidations", "corrupt", "uncacheable")
+
+    def __init__(self) -> None:
+        for f in self.FIELDS:
+            setattr(self, f, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {f: getattr(self, f) for f in self.FIELDS}
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter movement since a :meth:`snapshot` was taken."""
+        return {f: getattr(self, f) - before.get(f, 0) for f in self.FIELDS}
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses "
+            f"({self.invalidations} invalidated, {self.corrupt} corrupt), "
+            f"{self.stores} stored"
+        )
+
+
+class RunCache:
+    """Content-addressed on-disk store of sweep-point results."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(
+            root or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        )
+        self.stats = CacheStats()
+
+    # -- keys ----------------------------------------------------------
+    def descriptor_hash(self, point: "SweepPoint") -> str:
+        """Identity of the *work* (fn + kwargs), fingerprint-free —
+        stable across code edits, so costs survive invalidation."""
+        payload = repr((CACHE_SCHEMA, point.fn, sorted(point.kwargs.items())))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def key_for(self, point: "SweepPoint", fingerprint: str, obs_key: str = "") -> str:
+        payload = f"{self.descriptor_hash(point)}\n{fingerprint}\n{obs_key}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _obj_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def _cost_path(self, dhash: str) -> Path:
+        return self.root / "costs" / dhash[:2] / f"{dhash}.json"
+
+    # -- entry encoding ------------------------------------------------
+    @staticmethod
+    def _encode(entry: dict[str, Any]) -> bytes:
+        payload = pickle.dumps(entry, protocol=_PICKLE_PROTO)
+        return hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
+
+    @staticmethod
+    def _decode(blob: bytes) -> dict[str, Any] | None:
+        digest, sep, payload = blob.partition(b"\n")
+        if not sep or hashlib.sha256(payload).hexdigest().encode() != digest:
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except Exception:
+            return None
+        return entry if isinstance(entry, dict) and "result" in entry else None
+
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+
+    # -- get / put -----------------------------------------------------
+    def get(self, key: str, point: "SweepPoint") -> dict[str, Any] | None:
+        path = self._obj_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            if self._cost_path(self.descriptor_hash(point)).exists():
+                # the point was cached before under a different key:
+                # code (or observation config) changed underneath it
+                self.stats.invalidations += 1
+            return None
+        entry = self._decode(blob)
+        if entry is None or entry.get("key") != key:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        point: "SweepPoint",
+        fingerprint: str,
+        obs_key: str,
+        result: Any,
+        obs: dict | None,
+        cost: float,
+    ) -> None:
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "fn": point.fn,
+            "kwargs": dict(point.kwargs),
+            "fingerprint": fingerprint,
+            "obs_key": obs_key,
+            "result": result,
+            "obs": obs,
+            "cost": cost,
+            "created": time.time(),
+        }
+        try:
+            blob = self._encode(entry)
+        except Exception:
+            self.stats.uncacheable += 1
+            return
+        self._write_atomic(self._obj_path(key), blob)
+        self.stats.stores += 1
+        dhash = self.descriptor_hash(point)
+        cost_blob = json.dumps({"cost": cost, "fn": point.fn}).encode()
+        self._write_atomic(self._cost_path(dhash), cost_blob)
+
+    def recorded_cost(self, point: "SweepPoint") -> float | None:
+        """Last measured wall cost of this point under *any* code
+        version (drives longest-cost-first scheduling of misses)."""
+        try:
+            data = json.loads(self._cost_path(self.descriptor_hash(point)).read_bytes())
+            return float(data["cost"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> Iterator[tuple[Path, dict[str, Any] | None]]:
+        """Every object file with its decoded entry (None = corrupt)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.pkl")):
+            try:
+                yield path, self._decode(path.read_bytes())
+            except OSError:
+                continue
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p, _ in self.entries())
+
+    def gc(
+        self,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+        everything: bool = False,
+    ) -> int:
+        """Delete entries by age, then oldest-first down to a byte
+        budget; ``everything`` wipes objects and cost sidecars both."""
+        removed = 0
+        files = [(p.stat().st_mtime, p) for p, _ in self.entries()]
+        if everything:
+            max_bytes = -1
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            for mtime, path in list(files):
+                if mtime < cutoff:
+                    path.unlink(missing_ok=True)
+                    files.remove((mtime, path))
+                    removed += 1
+        if max_bytes is not None:
+            files.sort()  # oldest first
+            total = sum(p.stat().st_size for _, p in files)
+            while files and total > max_bytes:
+                _, path = files.pop(0)
+                total -= path.stat().st_size
+                path.unlink(missing_ok=True)
+                removed += 1
+        if everything:
+            costs = self.root / "costs"
+            if costs.is_dir():
+                for path in costs.glob("*/*.json"):
+                    path.unlink(missing_ok=True)
+        return removed
+
+    def verify(
+        self, sample: int = 5, seed: int = 0, fix: bool = False
+    ) -> dict[str, int]:
+        """Re-run a random sample of entries from scratch and compare
+        bit-for-bit. Entries whose fingerprint no longer matches the
+        current code are *stale* (skipped — their result may
+        legitimately differ); corrupt files and result mismatches are
+        the failures, optionally deleted with ``fix``."""
+        import random
+
+        from repro.perf.sweep import SweepPoint, run_point
+
+        report = {"checked": 0, "ok": 0, "mismatched": 0, "stale": 0, "corrupt": 0}
+        valid: list[tuple[Path, dict[str, Any]]] = []
+        for path, entry in self.entries():
+            if entry is None:
+                report["corrupt"] += 1
+                if fix:
+                    path.unlink(missing_ok=True)
+            else:
+                valid.append((path, entry))
+        chosen = random.Random(seed).sample(valid, min(sample, len(valid)))
+        for path, entry in chosen:
+            modname = entry["fn"].partition(":")[0]
+            if entry["fingerprint"] != code_fingerprint(modname):
+                report["stale"] += 1
+                continue
+            report["checked"] += 1
+            point = SweepPoint(entry["fn"], entry["kwargs"])
+            with activate(None):  # never satisfy a verify from the cache
+                fresh = run_point(point)
+            same = pickle.dumps(fresh, protocol=_PICKLE_PROTO) == pickle.dumps(
+                entry["result"], protocol=_PICKLE_PROTO
+            )
+            if same:
+                report["ok"] += 1
+            else:
+                report["mismatched"] += 1
+                if fix:
+                    path.unlink(missing_ok=True)
+        return report
+
+
+# ----------------------------------------------------------------------
+# The process-wide active cache (mirrors repro.obs.session.current)
+# ----------------------------------------------------------------------
+_ACTIVE: RunCache | None = None
+
+
+def current() -> RunCache | None:
+    """The active cache, if any (consulted by ``SweepRunner.map``)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(cache: RunCache | None) -> Iterator[RunCache | None]:
+    """Make ``cache`` the process-wide run cache for the block
+    (``None`` disables caching, shadowing any outer cache)."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = prev
+
+
+# ----------------------------------------------------------------------
+# python -m repro.perf.cache
+# ----------------------------------------------------------------------
+def _cmd_stats(cache: RunCache) -> int:
+    n = bytes_total = corrupt = 0
+    by_fn: dict[str, int] = {}
+    for path, entry in cache.entries():
+        n += 1
+        bytes_total += path.stat().st_size
+        if entry is None:
+            corrupt += 1
+        else:
+            by_fn[entry["fn"]] = by_fn.get(entry["fn"], 0) + 1
+    print(f"cache dir: {cache.root}")
+    print(f"entries:   {n} ({bytes_total:,} bytes, {corrupt} corrupt)")
+    for fn, count in sorted(by_fn.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:>5}  {fn}")
+    return 0
+
+
+def _cmd_gc(cache: RunCache, args: argparse.Namespace) -> int:
+    removed = cache.gc(
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        everything=args.all,
+    )
+    print(f"removed {removed} entries from {cache.root}")
+    return 0
+
+
+def _cmd_verify(cache: RunCache, args: argparse.Namespace) -> int:
+    report = cache.verify(sample=args.sample, seed=args.seed, fix=args.fix)
+    print(
+        f"verified {report['checked']} sampled entries: {report['ok']} ok, "
+        f"{report['mismatched']} mismatched, {report['stale']} stale (skipped), "
+        f"{report['corrupt']} corrupt"
+    )
+    bad = report["mismatched"] + report["corrupt"]
+    if bad:
+        print("FAIL: cache holds entries that do not reproduce"
+              + (" (deleted)" if args.fix else " (re-run with --fix to drop them)"))
+    return 1 if bad else 0
+
+
+def _cmd_bench(cache: RunCache, args: argparse.Namespace) -> int:
+    """Run the quick experiment sweep twice under the cache and gate on
+    the warm-run speedup (CI uses this after restoring ``objects/``)."""
+    from repro.cli import QUICK_ARGS
+    from repro.experiments import ALL_EXPERIMENTS
+
+    def run_all() -> tuple[float, str]:
+        t0 = time.perf_counter()
+        tables = [
+            ALL_EXPERIMENTS[e](jobs=args.jobs, **QUICK_ARGS[e]).format_table()
+            for e in ALL_EXPERIMENTS
+        ]
+        return time.perf_counter() - t0, "\n".join(tables)
+
+    with activate(cache):
+        before = cache.stats.snapshot()
+        first_wall, first_tables = run_all()
+        first = cache.stats.delta(before)
+        second_wall, second_tables = run_all()
+    speedup = first_wall / max(second_wall, 1e-9)
+    first_points = first["hits"] + first["misses"]
+    first_warm = first["hits"] / first_points if first_points else 0.0
+    print(f"first sweep:  {first_wall:.2f}s ({first['hits']} hits / "
+          f"{first['misses']} misses)")
+    print(f"second sweep: {second_wall:.2f}s ({speedup:.1f}x)")
+    if first_tables != second_tables:
+        print("FAIL: warm tables are not byte-identical to the first run")
+        return 1
+    # a restored CI cache can make the *first* run warm already — the
+    # speedup gate only applies to a genuinely cold first sweep
+    if first_warm >= 0.5:
+        print(f"first sweep was already {first_warm:.0%} warm "
+              "(restored cache); speedup gate skipped")
+        return 0
+    if speedup < args.min_speedup:
+        print(f"FAIL: warm sweep only {speedup:.1f}x faster "
+              f"(gate: >= {args.min_speedup}x)")
+        return 1
+    print(f"OK: tables byte-identical, warm speedup {speedup:.1f}x "
+          f">= {args.min_speedup}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"cache location (default: ${CACHE_DIR_ENV} "
+                        f"or {DEFAULT_CACHE_DIR!r})")
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.perf.cache",
+        description="Inspect and maintain the content-addressed run cache.",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("stats", parents=[common],
+                   help="entry count, bytes, per-function breakdown")
+    gcp = sub.add_parser("gc", parents=[common],
+                         help="delete entries by age / byte budget")
+    gcp.add_argument("--max-age-days", type=float, default=None)
+    gcp.add_argument("--max-bytes", type=int, default=None)
+    gcp.add_argument("--all", action="store_true", help="wipe the cache entirely")
+    vp = sub.add_parser("verify", parents=[common],
+                        help="re-run sampled entries and compare")
+    vp.add_argument("--sample", type=int, default=5)
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--fix", action="store_true",
+                    help="delete mismatched/corrupt entries")
+    sub.add_parser("fingerprint", parents=[common],
+                   help="print the repo-wide code fingerprint (CI cache key)")
+    bp = sub.add_parser("bench", parents=[common],
+                        help="quick sweep twice; gate warm speedup")
+    bp.add_argument("--min-speedup", type=float, default=5.0)
+    bp.add_argument("--jobs", type=int, default=1)
+    args = ap.parse_args(argv)
+
+    if args.cmd == "fingerprint":
+        print(repo_fingerprint())
+        return 0
+    cache = RunCache(args.cache_dir)
+    if args.cmd == "stats":
+        return _cmd_stats(cache)
+    if args.cmd == "gc":
+        return _cmd_gc(cache, args)
+    if args.cmd == "verify":
+        return _cmd_verify(cache, args)
+    return _cmd_bench(cache, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    # `python -m repro.perf.cache` executes this file as `__main__`,
+    # a *second* module object whose `_ACTIVE` global would be invisible
+    # to SweepRunner (which imports the canonical repro.perf.cache) —
+    # delegate to the canonical module so activate() is seen
+    from repro.perf.cache import main as _canonical_main
+
+    sys.exit(_canonical_main())

@@ -1,4 +1,4 @@
-"""Parallel sweep execution for independent simulation points.
+"""Parallel + incremental sweep execution for independent simulation points.
 
 Every figure/table experiment is a *sweep*: a list of fully
 independent simulations (one machine config + workload descriptor
@@ -7,24 +7,43 @@ evaluation farmed ASIM runs out across workstations for exactly this
 reason — cycle-level simulation is compute-bound and sweep points
 share nothing.
 
-The contract here keeps parallel runs bit-identical to serial ones:
+The contract here keeps parallel and cached runs bit-identical to
+serial ones:
 
 * A :class:`SweepPoint` carries a *descriptor* (module-qualified
   function name + plain-data kwargs), never a live simulator object,
   so points pickle cleanly into worker processes and every worker
   builds its machine from scratch exactly as a serial run would.
 * Each point function is deterministic given its kwargs (seeds travel
-  inside the kwargs), so where it runs cannot change what it returns.
-* :meth:`SweepRunner.map` always returns results in the order of its
-  input points (``multiprocessing.Pool.map`` preserves order), so the
-  merge step — and therefore the rendered table — is byte-identical
-  at any job count.
+  inside the kwargs), so where it runs — or whether it is replayed
+  from the content-addressed run cache (:mod:`repro.perf.cache`) —
+  cannot change what it returns.
+* :meth:`SweepRunner.map` always merges results back in the order of
+  its input points, whatever order they executed in, so the rendered
+  table is byte-identical at any job count and any cache hit ratio.
+
+Three host-speed mechanisms live here:
+
+* **Persistent worker pool.** Pools are process-global and reused
+  across sweeps (and across the 8-experiment wallclock run) instead of
+  being constructed and torn down per experiment; ``warm_pool``
+  exposes the startup cost so benchmarks can report it separately.
+* **Explicit chunking.** Misses go through ``Pool.imap`` with a
+  chunksize derived from the point count (``_chunksize``), so large
+  ablation sweeps amortize IPC without one slow chunk serializing the
+  tail.
+* **Cost-aware incremental execution.** With a run cache active
+  (:func:`repro.perf.cache.activate`), cache hits return instantly and
+  only misses execute — scheduled longest-recorded-cost-first so the
+  parallel critical path shrinks.
 """
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -57,6 +76,23 @@ def run_point(point: SweepPoint) -> Any:
     return point.resolve()(**point.kwargs)
 
 
+def _timed_run_point(point: SweepPoint) -> tuple[Any, float]:
+    """Worker entry that also measures the point's wall cost, which the
+    cache records to drive longest-cost-first scheduling next time."""
+    t0 = time.perf_counter()
+    result = run_point(point)
+    return result, time.perf_counter() - t0
+
+
+def _timed_obs_run_point(arg: tuple[Any, SweepPoint]) -> tuple[Any, dict, float]:
+    """Observed worker entry with wall-cost measurement."""
+    from repro.obs.session import _obs_run_point
+
+    t0 = time.perf_counter()
+    result, data = _obs_run_point(arg)
+    return result, data, time.perf_counter() - t0
+
+
 def default_jobs() -> int:
     """Job count when the caller says 'parallel' without a number."""
     env = os.environ.get("REPRO_JOBS")
@@ -65,47 +101,201 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def _chunksize(n_points: int, procs: int) -> int:
+    """~4 chunks per worker, floor 1. Sweep points are coarse (whole
+    simulations), so small sweeps keep chunksize 1 for scheduling
+    freedom; large ablation sweeps batch to amortize pool IPC without
+    letting one slow chunk serialize the tail."""
+    return max(1, n_points // (max(1, procs) * 4))
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pools (keyed by size, reused across sweeps)
+# ----------------------------------------------------------------------
+_POOLS: dict[int, Any] = {}
+
+
+def _get_pool(procs: int):
+    pool = _POOLS.get(procs)
+    if pool is None:
+        import multiprocessing as mp
+
+        pool = mp.Pool(processes=procs)
+        _POOLS[procs] = pool
+    return pool
+
+
+def warm_pool(procs: int) -> float:
+    """Create the persistent ``procs``-wide pool if it does not exist
+    yet; returns the startup cost in seconds (0.0 when already warm,
+    or when ``procs <= 1`` needs no pool at all)."""
+    if procs <= 1 or procs in _POOLS:
+        return 0.0
+    t0 = time.perf_counter()
+    _get_pool(procs)
+    return time.perf_counter() - t0
+
+
+def shutdown_pools() -> None:
+    """Tear down every persistent pool (atexit, and test isolation)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
 class SweepRunner:
-    """Fan independent sweep points out over worker processes.
+    """Fan independent sweep points out over worker processes, replaying
+    cached points when a run cache is active.
 
     ``jobs=1`` (the default) runs points in-process in order —
-    the reference behaviour. ``jobs=N`` uses a ``multiprocessing``
-    pool; ``jobs=None`` picks :func:`default_jobs`. Results come back
-    in input order either way (deterministic ordered merge).
-    """
+    the reference behaviour. ``jobs=N`` uses a persistent
+    ``multiprocessing`` pool; ``jobs=None`` picks :func:`default_jobs`.
+    Results come back in input order either way (deterministic ordered
+    merge)."""
 
     def __init__(self, jobs: int | None = 1) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
 
     def map(self, points: Sequence[SweepPoint]) -> list[Any]:
         points = list(points)
+        from repro.obs.session import current as obs_current
+        from repro.perf.cache import current as cache_current
+
+        cache = cache_current()
+        sess = obs_current()
+        if cache is not None:
+            return self._map_cached(points, cache, sess)
+        return self._map_plain(points, sess)
+
+    # -- no cache: the reference parallel path -------------------------
+    def _map_plain(self, points: list[SweepPoint], sess: Any) -> list[Any]:
         if self.jobs <= 1 or len(points) <= 1:
             # in-process: an active observation session sees each
             # machine directly through make_machine
             return [run_point(p) for p in points]
-        import multiprocessing as mp
-
-        from repro.obs.session import _obs_run_point, current as obs_current
-
-        # never spin up more workers than there are points
-        procs = min(self.jobs, len(points))
-        sess = obs_current()
+        pool = _get_pool(self.jobs)
+        cs = _chunksize(len(points), min(self.jobs, len(points)))
         if sess is None:
-            with mp.Pool(processes=procs) as pool:
-                # chunksize=1: sweep points are coarse (whole
-                # simulations), so scheduling freedom beats batching
-                return pool.map(run_point, points, chunksize=1)
+            return list(pool.imap(run_point, points, cs))
         # observed parallel run: each worker opens its own session and
         # ships plain observation data back with its result; absorbing
         # in input order keeps the merge deterministic at any job count
-        with mp.Pool(processes=procs) as pool:
-            out = pool.map(
-                _obs_run_point,
-                [(sess.cfg, p) for p in points],
-                chunksize=1,
-            )
+        from repro.obs.session import _obs_run_point
+
         results = []
-        for result, data in out:
+        for result, data in pool.imap(
+            _obs_run_point, [(sess.cfg, p) for p in points], cs
+        ):
             results.append(result)
             sess.absorb(data)
         return results
+
+    # -- incremental path: replay hits, run misses cost-first ----------
+    def _map_cached(
+        self, points: list[SweepPoint], cache: Any, sess: Any
+    ) -> list[Any]:
+        from repro.perf.cache import code_fingerprint
+
+        n = len(points)
+        obs_cfg = sess.cfg if (sess is not None and sess.cfg.enabled) else None
+        obs_key = repr(obs_cfg) if obs_cfg is not None else ""
+        before = cache.stats.snapshot()
+
+        fps: dict[str, str] = {}
+
+        def fingerprint_of(point: SweepPoint) -> str:
+            mod = point.fn.partition(":")[0]
+            fp = fps.get(mod)
+            if fp is None:
+                fp = fps[mod] = code_fingerprint(mod)
+            return fp
+
+        keys = [cache.key_for(p, fingerprint_of(p), obs_key) for p in points]
+        results: list[Any] = [None] * n
+        payloads: list[dict | None] = [None] * n
+        misses: list[int] = []
+        for i, point in enumerate(points):
+            entry = cache.get(keys[i], point)
+            if entry is not None:
+                results[i] = entry["result"]
+                payloads[i] = entry.get("obs")
+            else:
+                misses.append(i)
+
+        if misses:
+            self._run_misses(
+                points, misses, keys, cache, obs_cfg, obs_key,
+                fingerprint_of, results, payloads,
+            )
+        if obs_cfg is not None:
+            # merge observation payloads (cached and fresh alike) in
+            # input order — same determinism contract as _map_plain
+            for data in payloads:
+                if data:
+                    sess.absorb(data)
+        if sess is not None:
+            sess.note_cache(cache.stats.delta(before))
+        return results
+
+    def _run_misses(
+        self,
+        points: list[SweepPoint],
+        misses: list[int],
+        keys: list[str],
+        cache: Any,
+        obs_cfg: Any,
+        obs_key: str,
+        fingerprint_of: Callable[[SweepPoint], str],
+        results: list[Any],
+        payloads: list[dict | None],
+    ) -> None:
+        def put(i: int, result: Any, data: dict | None, cost: float) -> None:
+            results[i] = result
+            if data is not None:
+                payloads[i] = data
+            cache.put(
+                keys[i], points[i], fingerprint_of(points[i]), obs_key,
+                result, data, cost,
+            )
+
+        if self.jobs > 1 and len(misses) > 1:
+            # longest-recorded-cost-first shrinks the parallel critical
+            # path; points never seen before sort first (conservatively
+            # "could be long"). Results land back by original index, so
+            # the merge order is untouched.
+            def rank(i: int) -> float:
+                cost = cache.recorded_cost(points[i])
+                return -cost if cost is not None else float("-inf")
+
+            order = sorted(misses, key=rank)
+            pool = _get_pool(self.jobs)
+            cs = _chunksize(len(misses), min(self.jobs, len(misses)))
+            if obs_cfg is None:
+                it = pool.imap(
+                    _timed_run_point, [points[i] for i in order], cs
+                )
+                for i, (result, cost) in zip(order, it):
+                    put(i, result, None, cost)
+            else:
+                it = pool.imap(
+                    _timed_obs_run_point,
+                    [(obs_cfg, points[i]) for i in order], cs,
+                )
+                for i, (result, data, cost) in zip(order, it):
+                    put(i, result, data, cost)
+            return
+        # serial misses keep input order (the reference behaviour);
+        # under a session each point runs in a nested session so its
+        # observation payload is captured per-point for the cache —
+        # absorbed by the caller exactly like a worker payload
+        for i in misses:
+            if obs_cfg is None:
+                result, cost = _timed_run_point(points[i])
+                put(i, result, None, cost)
+            else:
+                result, data, cost = _timed_obs_run_point((obs_cfg, points[i]))
+                put(i, result, data, cost)
