@@ -7,6 +7,10 @@ Usage::
     alewife-repro run all
     alewife-repro run fig9 --nodes 16 --quick
     alewife-repro fig8_accum --metrics-out run.json --trace-out trace.json
+    alewife-repro serve --port 8787 --store .repro_store
+    alewife-repro submit fig8 --quick --wait --fetch-to out/
+    alewife-repro status JOB_ID
+    alewife-repro fetch JOB_ID run.json --out run.json
 
 The last form is a convenience: an experiment id (``fig8``) or its
 module basename (``fig8_accum``) given as the first argument implies
@@ -295,6 +299,119 @@ def run_demo() -> str:
     return "\n".join(out)
 
 
+def print_version() -> int:
+    """``--version``: package version plus the current code
+    fingerprint (what the run cache and run store key against)."""
+    import repro
+    from repro.perf.cache import repo_fingerprint
+
+    print(f"alewife-repro {repro.__version__}")
+    print(f"code fingerprint: {repo_fingerprint()}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve / submit / status / fetch (the repro.serve client surface)
+# ----------------------------------------------------------------------
+def _build_spec(args: argparse.Namespace) -> dict:
+    spec: dict = {"experiment": args.experiment}
+    if args.quick:
+        spec["quick"] = True
+    if args.nodes is not None:
+        spec["nodes"] = args.nodes
+    if args.params:
+        import json
+
+        try:
+            params = json.loads(args.params)
+        except ValueError as exc:
+            raise SystemExit(f"--params is not valid JSON: {exc}")
+        spec["params"] = params
+    if args.trace:
+        spec["trace"] = True
+    if args.sample_interval:
+        spec["sample_interval"] = args.sample_interval
+    if args.check:
+        spec["check"] = [k for k in args.check.split(",") if k]
+    return spec
+
+
+def _job_line(job: dict) -> str:
+    wall = ""
+    if job.get("started") and job.get("finished"):
+        wall = f" wall={job['finished'] - job['started']:.2f}s"
+    return (
+        f"job {job['id']} state={job['state']} "
+        f"dedup={str(job['dedup']).lower()} priority={job['priority']}"
+        f"{wall} key={job['key'][:16]}…"
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.server)
+    spec = _build_spec(args)
+    try:
+        job = client.submit(spec, priority=args.priority)
+        print(_job_line(job))
+        if args.wait and job["state"] not in ("done", "failed", "cancelled"):
+            job = client.wait(job["id"], timeout=args.timeout)
+            print(_job_line(job))
+        if job["state"] == "failed":
+            print(job.get("error") or "job failed", end="")
+            return 1
+        if args.fetch_to and job["state"] == "done":
+            import pathlib
+
+            out = pathlib.Path(args.fetch_to)
+            out.mkdir(parents=True, exist_ok=True)
+            for name in client.artifacts(job["id"])["artifacts"]:
+                (out / name).write_bytes(client.fetch(job["id"], name))
+                print(f"fetched {name} -> {out / name}")
+    except (ServeError, TimeoutError, OSError) as exc:
+        raise SystemExit(f"submit failed: {exc}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.server)
+    try:
+        if args.job_id:
+            print(_job_line(client.status(args.job_id)))
+        else:
+            health = client.health()
+            print(
+                f"repro-serve {health['version']} up "
+                f"{health['uptime_seconds']:.0f}s — queue depth "
+                f"{health['queue_depth']}, jobs {health['jobs']}"
+            )
+            for job in client.jobs():
+                print(_job_line(job))
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"status failed: {exc}")
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.server)
+    try:
+        blob = client.fetch(args.job_id, args.artifact)
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"fetch failed: {exc}")
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(blob)
+        print(f"fetched {args.artifact} -> {args.out}")
+    else:
+        sys.stdout.write(blob.decode(errors="replace"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="alewife-repro",
@@ -371,8 +488,81 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-stats", action="store_true",
         help="print run-cache hit/miss/invalidation counters at the end",
     )
+
+    servep = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (REST job API over the "
+        "orchestrator + run store; see docs/SERVICE.md)",
+    )
+    servep.add_argument("--host", default="127.0.0.1")
+    servep.add_argument("--port", type=int, default=8787)
+    servep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="run-store location (default: $REPRO_STORE_DIR or '.repro_store')",
+    )
+    servep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared run-cache location (default: $REPRO_CACHE_DIR or "
+        "'.repro_cache')",
+    )
+    servep.add_argument("--no-cache", action="store_true",
+                        help="run jobs without the point-level run cache")
+    servep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent job worker threads (default: 1)",
+    )
+    servep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="sweep worker-pool width each job may fan out over",
+    )
+    servep.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+
+    client_common = argparse.ArgumentParser(add_help=False)
+    client_common.add_argument(
+        "--server", default=None, metavar="URL",
+        help="service URL (default: $REPRO_SERVE_URL or "
+        "http://127.0.0.1:8787)",
+    )
+    subp = sub.add_parser("submit", parents=[client_common],
+                          help="submit an experiment job to the service")
+    subp.add_argument("experiment", choices=list(ALL_EXPERIMENTS))
+    subp.add_argument("--quick", action="store_true", help="CI-sized parameters")
+    subp.add_argument("--nodes", type=int, default=None)
+    subp.add_argument(
+        "--params", default=None, metavar="JSON",
+        help="driver kwargs as a JSON object, "
+        "e.g. '{\"block_sizes\": [64, 256]}'",
+    )
+    subp.add_argument("--priority", type=int, default=0,
+                      help="higher runs first (default: 0)")
+    subp.add_argument("--trace", action="store_true",
+                      help="capture a Perfetto trace artifact")
+    subp.add_argument("--sample-interval", type=int, default=0, metavar="CYCLES")
+    subp.add_argument("--check", default=None, metavar="C1,C2",
+                      help="attach dynamic checkers (race,coherence,deadlock)")
+    subp.add_argument("--wait", action="store_true",
+                      help="poll until the job finishes")
+    subp.add_argument("--timeout", type=float, default=None, metavar="SEC")
+    subp.add_argument("--fetch-to", default=None, metavar="DIR",
+                      help="after --wait, download every artifact here")
+
+    statp = sub.add_parser("status", parents=[client_common],
+                           help="service health and job states")
+    statp.add_argument("job_id", nargs="?", default=None)
+
+    fetchp = sub.add_parser("fetch", parents=[client_common],
+                            help="download one artifact of a finished job")
+    fetchp.add_argument("job_id")
+    fetchp.add_argument("artifact",
+                        help="run.json | report.txt | table.json | trace.json")
+    fetchp.add_argument("--out", default=None, metavar="PATH",
+                        help="write here instead of stdout")
+
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "--version":
+        return print_version()
     # 'python -m repro.cli fig8_accum ...': an experiment id or module
     # basename in subcommand position implies 'run'
     if argv and argv[0] in _experiment_aliases():
@@ -388,6 +578,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.cmd == "demo":
         print(run_demo())
         return 0
+
+    if args.cmd == "serve":
+        from repro.serve.server import serve
+
+        return serve(
+            host=args.host, port=args.port, store_dir=args.store,
+            cache_dir=args.cache_dir, no_cache=args.no_cache,
+            workers=args.workers, jobs=args.jobs, verbose=args.verbose,
+        )
+
+    if args.cmd == "submit":
+        return cmd_submit(args)
+    if args.cmd == "status":
+        return cmd_status(args)
+    if args.cmd == "fetch":
+        return cmd_fetch(args)
 
     targets = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all" and (args.metrics_out or args.trace_out):

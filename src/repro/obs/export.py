@@ -130,9 +130,9 @@ def events_to_chrome(
     return out
 
 
-def export_perfetto(records: list[dict], path: str) -> int:
-    """Write the session records' traces as one Perfetto-loadable JSON
-    file (pid = machine index). Returns the number of Chrome events."""
+def build_perfetto(records: list[dict]) -> dict:
+    """The session records' traces as one Perfetto-loadable document
+    (pid = machine index), ready for ``json.dump``."""
     trace_events: list[dict] = []
     for pid, rec in enumerate(records):
         if "trace" not in rec:
@@ -142,12 +142,16 @@ def export_perfetto(records: list[dict], path: str) -> int:
                 rec["trace"], pid=pid, process_name=rec.get("label", f"m{pid}")
             )
         )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_perfetto(records: list[dict], path: str) -> int:
+    """Write the session records' traces as one Perfetto-loadable JSON
+    file (pid = machine index). Returns the number of Chrome events."""
+    doc = build_perfetto(records)
     with open(path, "w") as fh:
-        json.dump(
-            {"traceEvents": trace_events, "displayTimeUnit": "ms"},
-            fh,
-        )
-    return len(trace_events)
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
 
 
 def export_tracer(tracer: Any, path: str) -> int:
@@ -195,8 +199,7 @@ def validate_run_manifest(manifest: dict) -> list[str]:
     return errors
 
 
-def write_run_manifest(
-    path: str,
+def build_run_manifest(
     experiment: str,
     params: dict,
     timings: dict,
@@ -204,7 +207,7 @@ def write_run_manifest(
     cycle_attribution: dict | None,
     **extra: Any,
 ) -> dict:
-    """Assemble, validate, and write run.json; returns the manifest."""
+    """Assemble and validate a run.json manifest without writing it."""
     manifest = {
         "schema": RUN_MANIFEST_SCHEMA,
         "experiment": experiment,
@@ -217,6 +220,22 @@ def write_run_manifest(
     errors = validate_run_manifest(manifest)
     if errors:
         raise ValueError(f"invalid run manifest: {errors}")
+    return manifest
+
+
+def write_run_manifest(
+    path: str,
+    experiment: str,
+    params: dict,
+    timings: dict,
+    metrics: dict | None,
+    cycle_attribution: dict | None,
+    **extra: Any,
+) -> dict:
+    """Assemble, validate, and write run.json; returns the manifest."""
+    manifest = build_run_manifest(
+        experiment, params, timings, metrics, cycle_attribution, **extra
+    )
     with open(path, "w") as fh:
         json.dump(manifest, fh, indent=1)
         fh.write("\n")

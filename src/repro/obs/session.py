@@ -18,6 +18,7 @@ input order, so observed parallel runs stay deterministic.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
@@ -237,27 +238,30 @@ class ObsSession:
 
 
 # ----------------------------------------------------------------------
-# The process-global active session
+# The active session. Thread-local so concurrent repro.serve job
+# workers can each run an observed experiment on their own thread —
+# every machine built by a thread attaches to that thread's session,
+# never to a neighbouring job's.
 # ----------------------------------------------------------------------
-_ACTIVE: ObsSession | None = None
+_TLS = threading.local()
 
 
 def current() -> ObsSession | None:
     """The active session, if any (checked by ``make_machine``)."""
-    return _ACTIVE
+    return getattr(_TLS, "session", None)
 
 
 @contextmanager
 def session(cfg: ObsConfig) -> Iterator[ObsSession]:
-    """Open an observation session for the duration of the block."""
-    global _ACTIVE
-    prev = _ACTIVE
+    """Open an observation session on the calling thread for the
+    duration of the block."""
+    prev = getattr(_TLS, "session", None)
     s = ObsSession(cfg)
-    _ACTIVE = s
+    _TLS.session = s
     try:
         yield s
     finally:
-        _ACTIVE = prev
+        _TLS.session = prev
 
 
 def _obs_run_point(arg: tuple[ObsConfig, "SweepPoint"]) -> tuple[Any, dict]:

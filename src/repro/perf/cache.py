@@ -47,10 +47,12 @@ import argparse
 import ast
 import hashlib
 import importlib.util
+import itertools
 import json
 import os
 import pickle
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -198,13 +200,23 @@ def repo_fingerprint() -> str:
 # The cache proper
 # ----------------------------------------------------------------------
 class CacheStats:
-    """Hit/miss accounting for one :class:`RunCache` instance."""
+    """Hit/miss accounting for one :class:`RunCache` instance.
+
+    Counter bumps go through :meth:`bump` under a lock — one cache
+    instance may be shared by many ``repro.serve`` job threads."""
 
     FIELDS = ("hits", "misses", "stores", "invalidations", "corrupt", "uncacheable")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         for f in self.FIELDS:
             setattr(self, f, 0)
+
+    def bump(self, field: str, n: int = 1) -> None:
+        if field not in self.FIELDS:
+            raise ValueError(f"unknown cache stat {field!r}")
+        with self._lock:
+            setattr(self, field, getattr(self, field) + n)
 
     def snapshot(self) -> dict[str, int]:
         return {f: getattr(self, f) for f in self.FIELDS}
@@ -264,11 +276,26 @@ class RunCache:
             return None
         return entry if isinstance(entry, dict) and "result" in entry else None
 
+    #: distinguishes temp files written by threads sharing one pid
+    _tmp_seq = itertools.count()
+
     def _write_atomic(self, path: Path, blob: bytes) -> None:
+        """Publish ``blob`` at ``path`` via write-to-temp + atomic
+        rename. The temp name is unique per (pid, thread, sequence), so
+        two jobs materializing the *same* entry concurrently never
+        stomp each other's half-written file — whoever renames last
+        wins, and both wrote identical content-addressed bytes."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}"
+            f".{next(self._tmp_seq)}.tmp"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     # -- get / put -----------------------------------------------------
     def get(self, key: str, point: "SweepPoint") -> dict[str, Any] | None:
@@ -276,19 +303,19 @@ class RunCache:
         try:
             blob = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            self.stats.bump("misses")
             if self._cost_path(self.descriptor_hash(point)).exists():
                 # the point was cached before under a different key:
                 # code (or observation config) changed underneath it
-                self.stats.invalidations += 1
+                self.stats.bump("invalidations")
             return None
         entry = self._decode(blob)
         if entry is None or entry.get("key") != key:
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.bump("corrupt")
+            self.stats.bump("misses")
             path.unlink(missing_ok=True)
             return None
-        self.stats.hits += 1
+        self.stats.bump("hits")
         return entry
 
     def put(
@@ -316,10 +343,10 @@ class RunCache:
         try:
             blob = self._encode(entry)
         except Exception:
-            self.stats.uncacheable += 1
+            self.stats.bump("uncacheable")
             return
         self._write_atomic(self._obj_path(key), blob)
-        self.stats.stores += 1
+        self.stats.bump("stores")
         dhash = self.descriptor_hash(point)
         cost_blob = json.dumps({"cost": cost, "fn": point.fn}).encode()
         self._write_atomic(self._cost_path(dhash), cost_blob)
@@ -426,27 +453,30 @@ class RunCache:
 
 
 # ----------------------------------------------------------------------
-# The process-wide active cache (mirrors repro.obs.session.current)
+# The active cache (mirrors repro.obs.session.current). Thread-local:
+# each repro.serve job worker activates the *shared* RunCache on its
+# own thread without clobbering the activation of any other thread —
+# the cache object itself is safe to share (locked stats, atomic
+# writes), only the "is a cache active here" switch is per-thread.
 # ----------------------------------------------------------------------
-_ACTIVE: RunCache | None = None
+_TLS = threading.local()
 
 
 def current() -> RunCache | None:
     """The active cache, if any (consulted by ``SweepRunner.map``)."""
-    return _ACTIVE
+    return getattr(_TLS, "cache", None)
 
 
 @contextmanager
 def activate(cache: RunCache | None) -> Iterator[RunCache | None]:
-    """Make ``cache`` the process-wide run cache for the block
+    """Make ``cache`` the calling thread's run cache for the block
     (``None`` disables caching, shadowing any outer cache)."""
-    global _ACTIVE
-    prev = _ACTIVE
-    _ACTIVE = cache
+    prev = getattr(_TLS, "cache", None)
+    _TLS.cache = cache
     try:
         yield cache
     finally:
-        _ACTIVE = prev
+        _TLS.cache = prev
 
 
 # ----------------------------------------------------------------------
@@ -582,7 +612,7 @@ def main(argv: list[str] | None = None) -> int:
 
 if __name__ == "__main__":  # pragma: no cover
     # `python -m repro.perf.cache` executes this file as `__main__`,
-    # a *second* module object whose `_ACTIVE` global would be invisible
+    # a *second* module object whose `_TLS` activation state would be invisible
     # to SweepRunner (which imports the canonical repro.perf.cache) —
     # delegate to the canonical module so activate() is seen
     from repro.perf.cache import main as _canonical_main

@@ -101,6 +101,24 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+PARALLEL_MIN_POINTS_ENV = "REPRO_PARALLEL_MIN_POINTS"
+
+#: below this many runnable points, fan-out costs more than it saves:
+#: BENCH_wallclock.json measured the 8-experiment quick sweep (35
+#: points, 4 jobs) at 0.74x *slower* than serial — pool dispatch and
+#: result IPC dominate when each sweep hands the pool only a handful
+#: of points. Tables are byte-identical either way (ordered merge).
+DEFAULT_PARALLEL_MIN_POINTS = 24
+
+
+def parallel_min_points() -> int:
+    """Point count at which a sweep is worth fanning out."""
+    env = os.environ.get(PARALLEL_MIN_POINTS_ENV)
+    if env:
+        return max(2, int(env))
+    return DEFAULT_PARALLEL_MIN_POINTS
+
+
 def _chunksize(n_points: int, procs: int) -> int:
     """~4 chunks per worker, floor 1. Sweep points are coarse (whole
     simulations), so small sweeps keep chunksize 1 for scheduling
@@ -160,6 +178,14 @@ class SweepRunner:
     def __init__(self, jobs: int | None = 1) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
 
+    def _fan_out(self, n_runnable: int) -> bool:
+        """Whether ``n_runnable`` points justify the worker pool. Tiny
+        sweeps run inline: per-point dispatch + result IPC outweighs
+        the parallelism (the wallclock bench measured 0.74x at this
+        sweep scale), and the ordered merge keeps the resulting tables
+        byte-identical either way."""
+        return self.jobs > 1 and n_runnable >= parallel_min_points()
+
     def map(self, points: Sequence[SweepPoint]) -> list[Any]:
         points = list(points)
         from repro.obs.session import current as obs_current
@@ -173,7 +199,7 @@ class SweepRunner:
 
     # -- no cache: the reference parallel path -------------------------
     def _map_plain(self, points: list[SweepPoint], sess: Any) -> list[Any]:
-        if self.jobs <= 1 or len(points) <= 1:
+        if not self._fan_out(len(points)):
             # in-process: an active observation session sees each
             # machine directly through make_machine
             return [run_point(p) for p in points]
@@ -262,7 +288,7 @@ class SweepRunner:
                 result, data, cost,
             )
 
-        if self.jobs > 1 and len(misses) > 1:
+        if self._fan_out(len(misses)):
             # longest-recorded-cost-first shrinks the parallel critical
             # path; points never seen before sort first (conservatively
             # "could be long"). Results land back by original index, so

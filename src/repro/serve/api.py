@@ -1,0 +1,201 @@
+"""REST routes and handlers, independent of the HTTP plumbing.
+
+:class:`ServeApp` owns the orchestrator, store, and executor, and maps
+``(method, path)`` onto handlers returning plain responses — the
+``ThreadingHTTPServer`` handler in :mod:`repro.serve.server` is a thin
+byte-shoveling shell around :meth:`ServeApp.handle`, and the tests
+drive the routes directly.
+
+Routes::
+
+    GET  /healthz                      liveness + version + fingerprint
+    GET  /v1/metrics                   serve.* metrics snapshot
+    GET  /v1/jobs                      all jobs (newest last)
+    POST /v1/jobs                      submit {"spec": {...}, "priority": N}
+    GET  /v1/jobs/<id>                 one job
+    POST /v1/jobs/<id>/cancel          cancel (idempotent)
+    GET  /v1/jobs/<id>/artifacts       artifact names of a done job
+    GET  /v1/jobs/<id>/artifacts/<n>   raw artifact bytes
+
+The ``serve.*`` metrics ride the same
+:class:`~repro.obs.metrics.MetricsRegistry` machinery the simulator
+uses — queue depth, jobs by state, submission/dedup counters, the
+dedup hit ratio, and the shared run cache's counters — so one
+snapshot format covers machine and service observability alike.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from repro import __version__
+from repro.serve.orchestrator import STATES, JobOrchestrator, OrchestratorClosed
+from repro.serve.store import ARTIFACT_TYPES, RunStore
+
+JSON_TYPE = "application/json"
+
+
+class Response:
+    """One HTTP response: status, body bytes, content type."""
+
+    def __init__(
+        self, status: int, body: Any, content_type: str = JSON_TYPE
+    ) -> None:
+        self.status = status
+        self.content_type = content_type
+        if isinstance(body, bytes):
+            self.body = body
+        else:
+            self.body = json.dumps(body, indent=1, default=str).encode() + b"\n"
+
+    def json(self) -> Any:
+        """Decode the body (test convenience)."""
+        return json.loads(self.body)
+
+
+def _error(status: int, message: str) -> Response:
+    return Response(status, {"error": message})
+
+
+class ServeApp:
+    """The service behind the REST surface."""
+
+    def __init__(
+        self,
+        orchestrator: JobOrchestrator,
+        store: RunStore,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.store = store
+        self.started = time.time()
+
+    # -- handlers ------------------------------------------------------
+    def healthz(self) -> Response:
+        from repro.perf.cache import repo_fingerprint
+
+        return Response(200, {
+            "status": "ok",
+            "version": __version__,
+            "code_fingerprint": repo_fingerprint(),
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "queue_depth": self.orchestrator.queue_depth(),
+            "jobs": self.orchestrator.jobs_by_state(),
+            "counters": dict(self.orchestrator.counters),
+        })
+
+    def metrics(self) -> Response:
+        from repro.obs.metrics import MetricsRegistry
+
+        orch = self.orchestrator
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth", orch.queue_depth)
+        counts = orch.jobs_by_state()
+        for state in STATES:
+            reg.gauge("serve.jobs", lambda s=state: counts[s], state=state)
+        for name, value in orch.counters.items():
+            reg.counter(f"serve.{name}", lambda v=value: v)
+        reg.gauge("serve.dedup_hit_ratio", orch.dedup_hit_ratio)
+        reg.gauge("serve.store_runs", self.store.count)
+        cache = getattr(orch.executor, "cache", None)
+        if cache is not None:
+            for field, value in cache.stats.snapshot().items():
+                reg.counter(f"serve.cache.{field}", lambda v=value: v)
+        return Response(200, reg.collect().as_dict())
+
+    def submit(self, body: dict) -> Response:
+        if not isinstance(body, dict):
+            return _error(400, "request body must be a JSON object")
+        spec = body.get("spec")
+        priority = body.get("priority", 0)
+        if not isinstance(priority, int):
+            return _error(400, "'priority' must be an integer")
+        try:
+            job = self.orchestrator.submit(spec, priority=priority)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        except OrchestratorClosed as exc:
+            return _error(503, str(exc))
+        return Response(202 if not job.dedup else 200, job.as_dict())
+
+    def list_jobs(self) -> Response:
+        return Response(
+            200, {"jobs": [j.as_dict() for j in self.orchestrator.jobs()]}
+        )
+
+    def job_status(self, job_id: str) -> Response:
+        job = self.orchestrator.get(job_id)
+        if job is None:
+            return _error(404, f"no job {job_id!r}")
+        return Response(200, job.as_dict())
+
+    def cancel(self, job_id: str) -> Response:
+        try:
+            job = self.orchestrator.cancel(job_id)
+        except KeyError as exc:
+            return _error(404, str(exc))
+        return Response(200, job.as_dict())
+
+    def artifacts(self, job_id: str) -> Response:
+        job = self.orchestrator.get(job_id)
+        if job is None:
+            return _error(404, f"no job {job_id!r}")
+        entry = self.store.get(job.key)
+        if entry is None:
+            return _error(
+                409, f"job {job_id!r} is {job.state}; no artifacts published"
+            )
+        return Response(200, {
+            "job": job.id,
+            "key": job.key,
+            "artifacts": entry["artifacts"],
+            "meta": {k: v for k, v in entry.items() if k != "artifacts"},
+        })
+
+    def artifact(self, job_id: str, name: str) -> Response:
+        job = self.orchestrator.get(job_id)
+        if job is None:
+            return _error(404, f"no job {job_id!r}")
+        path = self.store.artifact_path(job.key, name)
+        if path is None:
+            return _error(404, f"job {job_id!r} has no artifact {name!r}")
+        return Response(
+            200,
+            path.read_bytes(),
+            ARTIFACT_TYPES.get(name, "application/octet-stream"),
+        )
+
+    # -- routing -------------------------------------------------------
+    def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Dispatch one request; never raises (500 on handler bugs)."""
+        try:
+            return self._route(method, path, body)
+        except Exception as exc:  # the daemon must outlive a bad request
+            return _error(500, f"{type(exc).__name__}: {exc}")
+
+    def _route(self, method: str, path: str, body: bytes) -> Response:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["healthz"]:
+            return self.healthz()
+        if method == "GET" and parts == ["v1", "metrics"]:
+            return self.metrics()
+        if parts[:2] == ["v1", "jobs"]:
+            rest = parts[2:]
+            if method == "POST" and not rest:
+                try:
+                    payload = json.loads(body or b"{}")
+                except ValueError:
+                    return _error(400, "request body is not valid JSON")
+                return self.submit(payload)
+            if method == "GET" and not rest:
+                return self.list_jobs()
+            if method == "GET" and len(rest) == 1:
+                return self.job_status(rest[0])
+            if method == "POST" and len(rest) == 2 and rest[1] == "cancel":
+                return self.cancel(rest[0])
+            if method == "GET" and len(rest) == 2 and rest[1] == "artifacts":
+                return self.artifacts(rest[0])
+            if method == "GET" and len(rest) == 3 and rest[1] == "artifacts":
+                return self.artifact(rest[0], rest[2])
+        return _error(404, f"no route {method} {path}")

@@ -1,0 +1,113 @@
+"""Stdlib HTTP client for the repro-serve API.
+
+Powers the ``alewife-repro submit / status / fetch`` subcommands and
+the tests; any HTTP client (curl, a browser) speaks the same surface —
+see docs/SERVICE.md for the raw API.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+SERVE_URL_ENV = "REPRO_SERVE_URL"
+DEFAULT_SERVE_URL = "http://127.0.0.1:8787"
+
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def default_url() -> str:
+    return os.environ.get(SERVE_URL_ENV) or DEFAULT_SERVE_URL
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Minimal blocking client over ``urllib``."""
+
+    def __init__(self, base_url: str | None = None, timeout: float = 30.0) -> None:
+        self.base_url = (base_url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None,
+        raw: bool = False,
+    ) -> Any:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                message = json.loads(payload).get(
+                    "error", payload.decode(errors="replace")
+                )
+            except ValueError:
+                message = payload.decode(errors="replace")
+            raise ServeError(exc.code, message) from None
+        if not raw and ctype.startswith("application/json"):
+            return json.loads(payload)
+        return payload
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, spec: dict, priority: int = 0) -> dict:
+        return self._request(
+            "POST", "/v1/jobs", {"spec": spec, "priority": priority}
+        )
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def artifacts(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/artifacts")
+
+    def fetch(self, job_id: str, name: str) -> bytes:
+        """Raw artifact bytes, exactly as published (bit-identical for
+        deduplicated resubmissions)."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/artifacts/{name}", raw=True
+        )
+
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 0.25
+    ) -> dict:
+        """Poll until the job is terminal; raises TimeoutError."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,231 @@
+"""Turning a job spec into an experiment run and its artifact set.
+
+A *spec* is the plain-JSON description a client submits::
+
+    {
+      "experiment": "fig8",          # required, one of ALL_EXPERIMENTS
+      "quick": true,                 # start from the CLI's --quick args
+      "nodes": 16,                   # machine-size override (where legal)
+      "params": {"block_sizes": [64, 256]},   # driver kwargs
+      "trace": false,                # capture a Perfetto trace artifact
+      "sample_interval": 0,          # time-series sampling period
+      "check": ["race", "deadlock"]  # dynamic checkers to attach
+    }
+
+Resolution is strict — unknown experiments, unknown parameter names,
+and malformed values are rejected at submission time (HTTP 400), not
+discovered by a failed job. Lists arriving from JSON are normalized
+to tuples so a spec resolves to exactly the kwargs a direct
+``repro.cli`` invocation would produce, and so the run key below is
+canonical.
+
+The **run key** is the service-level twin of the run cache's key:
+
+    sha256( descriptor(schema, experiment, sorted kwargs)
+            × code_fingerprint(experiment module)
+            × repr(ObsConfig) )
+
+Identical submissions from any number of clients therefore collapse
+onto one key; editing any code the experiment can reach changes the
+fingerprint and honestly re-runs. Execution happens under the shared
+:class:`~repro.perf.cache.RunCache` (activated on the worker's
+thread), so even two *different* jobs overlapping in sweep points
+share point-level results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import time
+from typing import Any, Callable
+
+from repro.serve.orchestrator import JobCancelled
+
+#: bump when the spec → kwargs resolution or artifact set changes
+#: incompatibly (orphans every stored run)
+EXECUTOR_SCHEMA = 1
+
+_SPEC_KEYS = {
+    "experiment", "quick", "nodes", "params", "trace", "sample_interval",
+    "check",
+}
+
+
+def _normalize(value: Any) -> Any:
+    """JSON params → canonical kwargs (lists become tuples, recursively),
+    matching the tuple-valued parameterizations the CLI uses."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class ExperimentExecutor:
+    """Resolve specs to keys and execute them into artifact sets."""
+
+    def __init__(self, cache: Any = None, jobs: int = 1) -> None:
+        #: shared RunCache (or None) activated per executing thread
+        self.cache = cache
+        #: sweep-level worker-pool width handed to experiment drivers
+        self.jobs = max(1, int(jobs))
+
+    # -- spec resolution ----------------------------------------------
+    def resolve(self, spec: dict) -> tuple[str, dict[str, Any], Any]:
+        """Validate ``spec`` → (experiment id, driver kwargs, ObsConfig).
+
+        Raises ValueError on anything malformed."""
+        from repro.cli import NODES_KW, QUICK_ARGS
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.obs.session import ObsConfig
+
+        if not isinstance(spec, dict):
+            raise ValueError("job spec must be a JSON object")
+        unknown = set(spec) - _SPEC_KEYS
+        if unknown:
+            raise ValueError(f"unknown spec keys: {sorted(unknown)}")
+        exp_id = spec.get("experiment")
+        if exp_id not in ALL_EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {exp_id!r}; "
+                f"one of {sorted(ALL_EXPERIMENTS)}"
+            )
+        fn = ALL_EXPERIMENTS[exp_id]
+        kwargs: dict[str, Any] = dict(QUICK_ARGS[exp_id]) if spec.get("quick") else {}
+        params = spec.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError("spec 'params' must be an object")
+        legal = set(inspect.signature(fn).parameters) - {"jobs"}
+        bad = set(params) - legal
+        if bad:
+            raise ValueError(
+                f"experiment {exp_id!r} has no parameters {sorted(bad)}; "
+                f"legal: {sorted(legal)}"
+            )
+        kwargs.update({k: _normalize(v) for k, v in params.items()})
+        nodes = spec.get("nodes")
+        if nodes is not None:
+            kw = NODES_KW.get(exp_id)
+            if kw is None:
+                raise ValueError(
+                    f"experiment {exp_id!r} does not take a node count"
+                )
+            kwargs[kw] = int(nodes)
+        sample_interval = int(spec.get("sample_interval") or 0)
+        if sample_interval < 0:
+            raise ValueError("'sample_interval' must be >= 0")
+        checks: tuple[str, ...] = ()
+        if spec.get("check"):
+            from repro.check import validate_checks
+
+            checks = validate_checks(spec["check"])
+        obs_cfg = ObsConfig(
+            sample_interval=sample_interval,
+            trace=bool(spec.get("trace")),
+            check=checks,
+        )
+        return exp_id, kwargs, obs_cfg
+
+    # -- keying --------------------------------------------------------
+    def key_for(self, spec: dict) -> str:
+        """The run key: descriptor × code fingerprint × obs key."""
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.perf.cache import code_fingerprint
+
+        exp_id, kwargs, obs_cfg = self.resolve(spec)
+        descriptor = repr((EXECUTOR_SCHEMA, exp_id, sorted(kwargs.items())))
+        fingerprint = code_fingerprint(ALL_EXPERIMENTS[exp_id].__module__)
+        payload = f"{descriptor}\n{fingerprint}\n{obs_cfg!r}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- execution -----------------------------------------------------
+    def execute(
+        self, spec: dict, should_cancel: Callable[[], bool] = lambda: False
+    ) -> tuple[dict, dict[str, bytes]]:
+        """Run the experiment and build its artifacts; returns
+        ``(meta, artifacts)`` for :meth:`RunStore.publish`."""
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.obs.export import build_perfetto, build_run_manifest
+        from repro.obs.session import session as obs_session
+        from repro.perf.cache import activate, code_fingerprint
+
+        exp_id, kwargs, obs_cfg = self.resolve(spec)
+        fn = ALL_EXPERIMENTS[exp_id]
+        if should_cancel():
+            raise JobCancelled()
+        run_kwargs = dict(kwargs)
+        if "jobs" in inspect.signature(fn).parameters:
+            run_kwargs["jobs"] = self.jobs
+        t0 = time.time()
+        with activate(self.cache):
+            cache_before = (
+                self.cache.stats.snapshot() if self.cache is not None else None
+            )
+            with obs_session(obs_cfg) as s:
+                result = fn(**run_kwargs)
+                data = s.data()
+        wall = time.time() - t0
+        if should_cancel():
+            raise JobCancelled()
+
+        params = _jsonable(kwargs)
+        timings = {
+            "wall_seconds": round(wall, 3),
+            "machines": len(data["records"]),
+            "simulated_cycles": sum(r["cycles"] for r in data["records"]),
+        }
+        extra: dict[str, Any] = {}
+        if data.get("check") is not None:
+            extra["check"] = data["check"]
+        if data.get("cache") is not None:
+            extra["cache"] = data["cache"]
+        manifest = build_run_manifest(
+            experiment=exp_id,
+            params=params,
+            timings=timings,
+            metrics=data["metrics"],
+            cycle_attribution=data["cycle_attribution"],
+            samples=[r["samples"] for r in data["records"] if "samples" in r],
+            **extra,
+        )
+        table = {
+            "exp_id": result.exp_id,
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+        artifacts = {
+            "report.txt": (result.format_table() + "\n").encode(),
+            "table.json": _dump(table),
+            "run.json": _dump(manifest),
+        }
+        if obs_cfg.trace:
+            artifacts["trace.json"] = _dump(build_perfetto(data["records"]))
+        meta = {
+            "experiment": exp_id,
+            "params": params,
+            "wall_seconds": timings["wall_seconds"],
+            "fingerprint": code_fingerprint(fn.__module__),
+            "obs_key": repr(obs_cfg),
+            "cache": (
+                self.cache.stats.delta(cache_before)
+                if cache_before is not None
+                else None
+            ),
+        }
+        return meta, artifacts
+
+
+def _dump(doc: Any) -> bytes:
+    return json.dumps(doc, indent=1, default=str).encode() + b"\n"

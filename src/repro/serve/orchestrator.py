@@ -1,0 +1,305 @@
+"""The job orchestrator: priority queue, state machine, dedup, drain.
+
+Jobs move through a strict state machine::
+
+    queued ──────────► running ──► done
+       │                  │   └──► failed
+       └──► cancelled ◄───┘
+
+* **Submission** first consults the run store: if the job's key is
+  already published, the job is born ``done`` with ``dedup=True`` —
+  it never touches the queue or the worker pool (the acceptance
+  contract: a resubmitted sweep costs a directory read, not a
+  recompute).
+* **Priority**: higher ``priority`` runs first; ties run in
+  submission order (a monotone sequence number keeps the heap
+  deterministic and starvation-free within a priority band).
+* **Cancellation** of a queued job is immediate. Cancellation of a
+  running job is cooperative: the worker's ``should_cancel`` probe is
+  checked by the executor between phases, and a cancel that lands too
+  late to interrupt simply discards the result instead of publishing
+  it (the run store never sees a cancelled run).
+* **Graceful shutdown** (``shutdown(drain=True)``) stops workers from
+  *starting* anything new, lets in-flight jobs run to completion and
+  publish, and leaves still-queued jobs queued — the daemon's exit
+  path, so a busy service never tears a half-run experiment down.
+
+Workers are threads, not processes: one experiment's sweep points
+already fan out over the shared ``repro.perf`` process pool when the
+sweep is large enough, so the orchestrator only needs enough workers
+to overlap small jobs with big ones. The thread-local activation
+switches in :mod:`repro.perf.cache` / :mod:`repro.obs.session` keep
+concurrent workers' cache and observation contexts independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker when its job's cancellation was
+    requested; the job lands in ``cancelled`` and nothing is
+    published."""
+
+
+class OrchestratorClosed(RuntimeError):
+    """Submission after :meth:`JobOrchestrator.shutdown` began."""
+
+
+class Executor(Protocol):  # pragma: no cover - typing only
+    def key_for(self, spec: dict) -> str: ...
+
+    def execute(
+        self, spec: dict, should_cancel: Any
+    ) -> tuple[dict, dict[str, bytes]]: ...
+
+
+@dataclass
+class Job:
+    """One submission and its lifecycle."""
+
+    id: str
+    spec: dict
+    key: str
+    priority: int
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    error: str | None = None
+    #: answered from the run store without dispatching any work
+    dedup: bool = False
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "key": self.key,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "dedup": self.dedup,
+        }
+
+
+class JobOrchestrator:
+    """Priority-ordered job execution over a run store."""
+
+    def __init__(
+        self, executor: Executor, store: Any, workers: int = 1
+    ) -> None:
+        self.executor = executor
+        self.store = store
+        self.n_workers = max(1, int(workers))
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, str]] = []
+        self._jobs: dict[str, Job] = {}
+        self._seq = itertools.count()
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self.counters = {
+            "submitted": 0,
+            "dedup_hits": 0,
+            "executed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._threads:
+                return
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker, name=f"serve-worker-{i}", daemon=True
+                )
+                for i in range(self.n_workers)
+            ]
+        for t in self._threads:
+            t.start()
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the workers. ``drain=True`` lets running jobs finish
+        (and publish); ``drain=False`` also requests cancellation of
+        everything in flight. Queued jobs stay queued either way —
+        shutdown loses no submissions, it only stops serving them."""
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                for job in self._jobs.values():
+                    if job.state == RUNNING:
+                        job.cancel_event.set()
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout)
+        with self._lock:
+            self._threads = []
+
+    # -- submission / queries ------------------------------------------
+    def submit(self, spec: dict, priority: int = 0) -> Job:
+        key = self.executor.key_for(spec)
+        with self._cond:
+            if self._stopping:
+                raise OrchestratorClosed("orchestrator is shutting down")
+            job = Job(
+                id=uuid.uuid4().hex[:12], spec=spec, key=key,
+                priority=int(priority),
+            )
+            self.counters["submitted"] += 1
+            if self.store.get(key) is not None:
+                # already materialized: answer from the store, never
+                # touching the queue or the worker pool
+                job.state = DONE
+                job.dedup = True
+                job.finished = job.created
+                self.counters["dedup_hits"] += 1
+            else:
+                import heapq
+
+                heapq.heappush(
+                    self._heap, (-job.priority, next(self._seq), job.id)
+                )
+                self._cond.notify()
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job. Queued → cancelled immediately; running →
+        cancellation requested (takes effect at the executor's next
+        probe, or at completion by discarding the result). Terminal
+        jobs are returned unchanged (cancel is idempotent)."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished = time.time()
+                self.counters["cancelled"] += 1
+                self._cond.notify_all()
+            elif job.state == RUNNING:
+                job.cancel_event.set()
+            return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            while job.state not in TERMINAL:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return job
+
+    # -- introspection (the serve.* metrics read these) ----------------
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == QUEUED)
+
+    def jobs_by_state(self) -> dict[str, int]:
+        with self._lock:
+            counts = dict.fromkeys(STATES, 0)
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def dedup_hit_ratio(self) -> float:
+        with self._lock:
+            submitted = self.counters["submitted"]
+            if not submitted:
+                return 0.0
+            return self.counters["dedup_hits"] / submitted
+
+    # -- the worker loop -----------------------------------------------
+    def _next_job(self) -> Job | None:
+        """Pop the highest-priority queued job; None = stop. Holds the
+        condition while waiting."""
+        import heapq
+
+        with self._cond:
+            while True:
+                if self._stopping:
+                    # never *start* work while stopping — queued jobs
+                    # stay queued for a future restart
+                    return None
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs[job_id]
+                    if job.state == QUEUED:  # skip lazily-cancelled entries
+                        job.state = RUNNING
+                        job.started = time.time()
+                        return job
+                if self._stopping:
+                    return None
+                self._cond.wait()
+
+    def _finish(self, job: Job, state: str, error: str | None = None) -> None:
+        with self._cond:
+            job.state = state
+            job.error = error
+            job.finished = time.time()
+            counter = {DONE: "executed", FAILED: "failed", CANCELLED: "cancelled"}
+            self.counters[counter[state]] += 1
+            self._cond.notify_all()
+
+    def _worker(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            try:
+                if job.cancel_event.is_set():
+                    raise JobCancelled()
+                meta, artifacts = self.executor.execute(
+                    job.spec, should_cancel=job.cancel_event.is_set
+                )
+                if job.cancel_event.is_set():
+                    # cancelled too late to interrupt: discard, never
+                    # publish a run the client asked to kill
+                    raise JobCancelled()
+                self.store.publish(job.key, meta, artifacts)
+            except JobCancelled:
+                self._finish(job, CANCELLED)
+            except Exception:
+                self._finish(job, FAILED, error=traceback.format_exc(limit=8))
+            else:
+                self._finish(job, DONE)

@@ -1,0 +1,143 @@
+"""The daemon: a stdlib ``ThreadingHTTPServer`` carrying ServeApp.
+
+HTTP threads only parse requests and shovel bytes — every decision
+lives in :class:`~repro.serve.api.ServeApp`, and every experiment runs
+on the orchestrator's worker threads, so a slow simulation never
+blocks health checks or status polls.
+
+Startup/shutdown contract (``alewife-repro serve``):
+
+1. build the run store, the shared run cache, the executor, and the
+   orchestrator; start the workers;
+2. serve until SIGINT/SIGTERM;
+3. graceful shutdown: stop accepting HTTP, then
+   ``orchestrator.shutdown(drain=True)`` — in-flight jobs finish and
+   publish, queued jobs stay queued (and dedup makes resubmission
+   after a restart free for anything already materialized).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.api import ServeApp
+from repro.serve.executor import ExperimentExecutor
+from repro.serve.orchestrator import JobOrchestrator
+from repro.serve.store import RunStore
+
+#: request body cap: job specs are small JSON documents
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # quiet by default; `serve --verbose` restores request logging
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write(
+                f"[serve] {self.address_string()} {fmt % args}\n"
+            )
+
+    def _respond(self) -> None:
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            body, status = b'{"error": "request body too large"}\n', 413
+            content_type = "application/json"
+        else:
+            resp = app.handle(
+                self.command, self.path, self.rfile.read(length)
+            )
+            body, status, content_type = resp.body, resp.status, resp.content_type
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = _respond
+
+
+class ServeServer(ThreadingHTTPServer):
+    """HTTP shell owning the app; one daemon thread per connection."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: ServeApp,
+                 verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def build_app(
+    store_dir: str | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    workers: int = 1,
+    jobs: int = 1,
+) -> ServeApp:
+    """Wire store + cache + executor + orchestrator into one app
+    (workers not yet started)."""
+    from repro.perf.cache import RunCache
+
+    store = RunStore(store_dir)
+    cache = None if no_cache else RunCache(cache_dir)
+    executor = ExperimentExecutor(cache=cache, jobs=jobs)
+    orchestrator = JobOrchestrator(executor, store, workers=workers)
+    return ServeApp(orchestrator, store)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    store_dir: str | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    workers: int = 1,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> int:
+    """Run the daemon until SIGINT/SIGTERM; returns an exit code."""
+    app = build_app(
+        store_dir=store_dir, cache_dir=cache_dir, no_cache=no_cache,
+        workers=workers, jobs=jobs,
+    )
+    app.orchestrator.start()
+    server = ServeServer((host, port), app, verbose=verbose)
+    stop = threading.Event()
+
+    def _signalled(signum, frame) -> None:
+        stop.set()
+        # shutdown() must come from another thread than serve_forever
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _signalled)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    print(
+        f"repro-serve listening on http://{host}:{server.port} "
+        f"(store: {app.store.root}, workers: {app.orchestrator.n_workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+        print("repro-serve draining in-flight jobs...", flush=True)
+        app.orchestrator.shutdown(drain=True)
+        print("repro-serve stopped", flush=True)
+    return 0

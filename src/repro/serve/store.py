@@ -1,0 +1,158 @@
+"""The run store: completed service runs, content-addressed on disk.
+
+A *run* is one executed job: an experiment id plus fully-resolved
+kwargs. Its key (computed by
+:meth:`repro.serve.executor.ExperimentExecutor.key_for`) is the same
+three-part identity the run cache uses — descriptor hash × code
+fingerprint × observation key — so two clients submitting the same
+work against the same code are, by construction, asking for the same
+run. The store is what lets the service answer the second client
+instantly.
+
+Layout::
+
+    <store>/runs/<key[:2]>/<key>/
+        report.txt      rendered experiment table
+        table.json      exp_id / title / columns / rows / notes
+        run.json        the standard run manifest (repro-run/1)
+        trace.json      Perfetto trace (only when the job traced)
+        entry.json      metadata, written last
+
+Publication protocol: every artifact is written via write-to-temp +
+atomic rename, and ``entry.json`` is renamed into place *last* — a
+run exists iff its ``entry.json`` decodes and every artifact it lists
+is present. Two workers materializing the same key concurrently (the
+dedup window between submit and publish) each write identical,
+deterministic bytes; whoever renames last wins and nobody ever
+observes a half-published run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+DEFAULT_STORE_DIR = ".repro_store"
+
+#: bump to orphan every existing run (schema migrations)
+STORE_SCHEMA = 1
+
+ENTRY_NAME = "entry.json"
+
+#: artifact name -> content type served over HTTP
+ARTIFACT_TYPES = {
+    "report.txt": "text/plain; charset=utf-8",
+    "table.json": "application/json",
+    "run.json": "application/json",
+    "trace.json": "application/json",
+}
+
+
+class RunStore:
+    """Content-addressed store of completed service runs."""
+
+    _tmp_seq = itertools.count()
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(
+            root or os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+        )
+
+    def run_dir(self, key: str) -> Path:
+        return self.root / "runs" / key[:2] / key
+
+    # -- write ---------------------------------------------------------
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}"
+            f".{next(self._tmp_seq)}.tmp"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def publish(
+        self, key: str, meta: dict[str, Any], artifacts: dict[str, bytes]
+    ) -> dict[str, Any]:
+        """Publish one completed run: artifacts first, entry last.
+
+        Returns the entry as :meth:`get` would. Safe against a
+        concurrent publisher of the same key (identical deterministic
+        content; per-file atomic rename)."""
+        if ENTRY_NAME in artifacts:
+            raise ValueError(f"{ENTRY_NAME!r} is reserved for run metadata")
+        run_dir = self.run_dir(key)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        for name, blob in sorted(artifacts.items()):
+            if "/" in name or name.startswith("."):
+                raise ValueError(f"bad artifact name {name!r}")
+            self._write_atomic(run_dir / name, blob)
+        entry = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "artifacts": sorted(artifacts),
+            "published": time.time(),
+            **meta,
+        }
+        self._write_atomic(
+            run_dir / ENTRY_NAME,
+            json.dumps(entry, indent=1, sort_keys=True).encode() + b"\n",
+        )
+        return entry
+
+    # -- read ----------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The run's entry, or None if absent / half-published /
+        schema-mismatched. A run whose listed artifacts are missing is
+        treated as absent (it will simply be recomputed)."""
+        try:
+            entry = json.loads((self.run_dir(key) / ENTRY_NAME).read_bytes())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA:
+            return None
+        if entry.get("key") != key:
+            return None
+        names = entry.get("artifacts")
+        if not isinstance(names, list):
+            return None
+        run_dir = self.run_dir(key)
+        if any(not (run_dir / name).is_file() for name in names):
+            return None
+        return entry
+
+    def artifact_path(self, key: str, name: str) -> Path | None:
+        """Path of one artifact of a *published* run, else None."""
+        entry = self.get(key)
+        if entry is None or name not in entry["artifacts"]:
+            return None
+        return self.run_dir(key) / name
+
+    def read_artifact(self, key: str, name: str) -> bytes:
+        path = self.artifact_path(key, name)
+        if path is None:
+            raise KeyError(f"run {key[:12]}… has no artifact {name!r}")
+        return path.read_bytes()
+
+    # -- maintenance ---------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys of every published run."""
+        runs = self.root / "runs"
+        if not runs.is_dir():
+            return
+        for entry_path in sorted(runs.glob(f"*/*/{ENTRY_NAME}")):
+            key = entry_path.parent.name
+            if self.get(key) is not None:
+                yield key
+
+    def count(self) -> int:
+        return sum(1 for _ in self.keys())

@@ -66,3 +66,15 @@ def test_demo_command(capsys):
     assert "machine report" in out
     assert "trace:" in out
     assert "speedup" in out
+
+
+def test_version_prints_version_and_fingerprint(capsys):
+    import repro
+    from repro.perf.cache import repo_fingerprint
+
+    assert main(["--version"]) == 0
+    out = capsys.readouterr().out
+    assert f"alewife-repro {repro.__version__}" in out
+    fingerprint = out.rsplit(":", 1)[1].strip()
+    assert fingerprint == repo_fingerprint()
+    assert len(fingerprint) == 64 and int(fingerprint, 16) >= 0

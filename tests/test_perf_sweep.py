@@ -7,7 +7,14 @@ import json
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.perf.sweep import SweepPoint, SweepRunner, default_jobs, run_point
+from repro.perf.sweep import (
+    PARALLEL_MIN_POINTS_ENV,
+    SweepPoint,
+    SweepRunner,
+    default_jobs,
+    parallel_min_points,
+    run_point,
+)
 
 
 def _square(x):
@@ -45,7 +52,8 @@ class TestSweepRunner:
     def test_serial_preserves_order(self):
         assert SweepRunner(1).map(self.POINTS) == [i * i for i in range(8)]
 
-    def test_parallel_preserves_order(self):
+    def test_parallel_preserves_order(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "2")  # force real fan-out
         assert SweepRunner(4).map(self.POINTS) == [i * i for i in range(8)]
 
     def test_single_point_runs_in_process(self):
@@ -59,7 +67,14 @@ class TestSweepRunner:
         assert SweepRunner(0).jobs == 1
         assert SweepRunner(-3).jobs == 1
 
-    def test_worker_exception_propagates(self):
+    def test_worker_exception_propagates(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "2")
+        bad = [SweepPoint("tests.test_perf_sweep:_fail", {"x": 1})] * 2
+        with pytest.raises(RuntimeError):
+            SweepRunner(2).map(bad)
+
+    def test_inline_exception_propagates_too(self):
+        # below the fan-out threshold the same failure surfaces inline
         bad = [SweepPoint("tests.test_perf_sweep:_fail", {"x": 1})] * 2
         with pytest.raises(RuntimeError):
             SweepRunner(2).map(bad)
@@ -92,7 +107,10 @@ GOLDEN_IDS = sorted(SMALL_CONFIGS)
 
 
 @pytest.mark.parametrize("exp_id", GOLDEN_IDS)
-def test_parallel_rows_identical_to_serial(exp_id):
+def test_parallel_rows_identical_to_serial(exp_id, monkeypatch):
+    # pin the threshold down so jobs=4 genuinely uses the worker pool
+    # even for these trimmed sweeps
+    monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "2")
     fn = ALL_EXPERIMENTS[exp_id]
     serial = fn(jobs=1, **SMALL_CONFIGS[exp_id])
     parallel = fn(jobs=4, **SMALL_CONFIGS[exp_id])
@@ -103,3 +121,61 @@ def test_parallel_rows_identical_to_serial(exp_id):
 
 def test_small_configs_cover_every_experiment():
     assert set(SMALL_CONFIGS) == set(ALL_EXPERIMENTS)
+
+
+# ----------------------------------------------------------------------
+# Small-sweep serial fallback: tiny sweeps skip the pool entirely
+# (BENCH_wallclock.json measured 0.74x at quick-sweep scale), and the
+# threshold is env-tunable.
+# ----------------------------------------------------------------------
+class TestSerialFallback:
+    POINTS = [SweepPoint("tests.test_perf_sweep:_square", {"x": i}) for i in range(8)]
+
+    def test_default_threshold(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_MIN_POINTS_ENV, raising=False)
+        assert parallel_min_points() == 24
+
+    def test_env_override_with_floor(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "10")
+        assert parallel_min_points() == 10
+        monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "0")
+        assert parallel_min_points() == 2  # floor: 1 would disable serial
+
+    def test_small_sweep_never_touches_the_pool(self, monkeypatch):
+        from repro.perf import sweep
+
+        monkeypatch.delenv(PARALLEL_MIN_POINTS_ENV, raising=False)
+        sweep.shutdown_pools()
+        assert SweepRunner(4).map(self.POINTS) == [i * i for i in range(8)]
+        assert sweep._POOLS == {}  # ran inline: no pool was built
+
+    def test_threshold_crossing_builds_the_pool(self, monkeypatch):
+        from repro.perf import sweep
+
+        monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "8")
+        sweep.shutdown_pools()
+        try:
+            assert SweepRunner(4).map(self.POINTS) == [i * i for i in range(8)]
+            assert 4 in sweep._POOLS
+        finally:
+            sweep.shutdown_pools()
+
+    def test_fallback_rows_identical_to_forced_parallel(self, monkeypatch):
+        exp_id = "fig8"
+        fn = ALL_EXPERIMENTS[exp_id]
+        monkeypatch.delenv(PARALLEL_MIN_POINTS_ENV, raising=False)
+        inline = fn(jobs=4, **SMALL_CONFIGS[exp_id])  # falls back inline
+        monkeypatch.setenv(PARALLEL_MIN_POINTS_ENV, "2")
+        pooled = fn(jobs=4, **SMALL_CONFIGS[exp_id])  # genuine fan-out
+        assert json.dumps(inline.rows, sort_keys=True, default=str) == json.dumps(
+            pooled.rows, sort_keys=True, default=str
+        )
+        assert inline.format_table() == pooled.format_table()
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _no_leaked_pools():
+    yield
+    from repro.perf import sweep
+
+    sweep.shutdown_pools()

@@ -1,0 +1,228 @@
+"""End-to-end service tests: spec resolution/keying, REST routing, and
+the acceptance contract — submitting the same sweep twice returns
+bit-identical artifacts with the second submission answered from the
+run store (dedup counter increments, no worker-pool dispatch)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.api import ServeApp
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.executor import ExperimentExecutor
+from repro.serve.orchestrator import JobOrchestrator
+from repro.serve.server import ServeServer, build_app
+from repro.serve.store import RunStore
+
+#: the smallest real experiment spec (2 sweep points)
+TINY_SPEC = {"experiment": "fig8", "params": {"block_sizes": [64]}}
+
+
+# ----------------------------------------------------------------------
+# Spec resolution and run keys
+# ----------------------------------------------------------------------
+class TestExecutorSpec:
+    def test_resolve_quick_matches_cli_quick_args(self):
+        from repro.cli import QUICK_ARGS
+
+        exp_id, kwargs, _ = ExperimentExecutor().resolve(
+            {"experiment": "fig9", "quick": True}
+        )
+        assert exp_id == "fig9"
+        assert kwargs == QUICK_ARGS["fig9"]
+
+    def test_json_lists_normalize_to_cli_tuples(self):
+        # a JSON submission and a CLI-style tuple parameterization are
+        # the *same work* and must collapse onto the same run key
+        ex = ExperimentExecutor()
+        json_spec = {"experiment": "fig8", "params": {"block_sizes": [64, 256]}}
+        _, kwargs, _ = ex.resolve(json_spec)
+        assert kwargs["block_sizes"] == (64, 256)
+        tuple_spec = {"experiment": "fig8",
+                      "params": {"block_sizes": (64, 256)}}
+        assert ex.key_for(json_spec) == ex.key_for(tuple_spec)
+
+    def test_key_sensitive_to_params_and_obs(self):
+        ex = ExperimentExecutor()
+        base = ex.key_for(TINY_SPEC)
+        assert base != ex.key_for(
+            {"experiment": "fig8", "params": {"block_sizes": [128]}}
+        )
+        assert base != ex.key_for({**TINY_SPEC, "trace": True})
+        assert len(base) == 64
+
+    def test_bad_specs_rejected(self):
+        ex = ExperimentExecutor()
+        for spec in (
+            None,
+            {},
+            {"experiment": "nope"},
+            {"experiment": "fig8", "params": {"bogus_param": 1}},
+            {"experiment": "fig7", "nodes": 8},  # fig7 is fixed-size
+            {"experiment": "fig8", "wat": 1},
+            {"experiment": "fig8", "check": ["notachecker"]},
+            {"experiment": "fig8", "sample_interval": -1},
+        ):
+            with pytest.raises(ValueError):
+                ex.key_for(spec)
+
+    def test_nodes_override_lands_in_kwargs(self):
+        _, kwargs, _ = ExperimentExecutor().resolve(
+            {"experiment": "barrier", "nodes": 16}
+        )
+        assert kwargs["n_nodes"] == 16
+
+
+# ----------------------------------------------------------------------
+# Routing-level behaviour (no sockets)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def app(tmp_path):
+    app = build_app(
+        store_dir=tmp_path / "store", cache_dir=tmp_path / "cache", workers=1
+    )
+    app.orchestrator.start()
+    yield app
+    app.orchestrator.shutdown(drain=False, timeout=30.0)
+
+
+class TestRouting:
+    def test_unknown_route_404(self, app):
+        assert app.handle("GET", "/nope").status == 404
+        assert app.handle("POST", "/healthz").status == 404
+
+    def test_submit_validation_400(self, app):
+        bad = json.dumps({"spec": {"experiment": "nope"}}).encode()
+        resp = app.handle("POST", "/v1/jobs", bad)
+        assert resp.status == 400
+        assert "unknown experiment" in resp.json()["error"]
+        assert app.handle("POST", "/v1/jobs", b"not json").status == 400
+        notint = json.dumps({"spec": TINY_SPEC, "priority": "high"}).encode()
+        assert app.handle("POST", "/v1/jobs", notint).status == 400
+
+    def test_handler_bug_is_500_not_crash(self, app):
+        app.store.count = lambda: 1 / 0  # sabotage one metrics gauge
+        resp = app.handle("GET", "/v1/metrics")
+        assert resp.status == 500
+        assert "ZeroDivisionError" in resp.json()["error"]
+
+    def test_healthz_reports_version_and_fingerprint(self, app):
+        import repro
+        from repro.perf.cache import repo_fingerprint
+
+        body = app.handle("GET", "/healthz").json()
+        assert body["status"] == "ok"
+        assert body["version"] == repro.__version__
+        assert body["code_fingerprint"] == repo_fingerprint()
+        assert body["jobs"]["queued"] == 0
+
+    def test_artifacts_of_unfinished_job_409(self, tmp_path):
+        # a queued job has no published run yet; the API says so
+        # instead of 404ing the job id. Workers never started, so the
+        # job stays queued for the duration of the test.
+        idle = build_app(
+            store_dir=tmp_path / "s2", cache_dir=tmp_path / "c2", workers=1
+        )
+        job = idle.orchestrator.submit(TINY_SPEC)
+        resp = idle.handle("GET", f"/v1/jobs/{job.id}/artifacts")
+        assert resp.status == 409
+
+
+# ----------------------------------------------------------------------
+# Full loop over real HTTP with the real executor
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="class")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("serve")
+    app = build_app(store_dir=tmp / "store", cache_dir=tmp / "cache", workers=1)
+    app.orchestrator.start()
+    server = ServeServer(("127.0.0.1", 0), app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.port}")
+    yield app, client
+    server.shutdown()
+    server.server_close()
+    app.orchestrator.shutdown(drain=False, timeout=30.0)
+
+
+class TestEndToEnd:
+    def test_submit_wait_dedup_bit_identical(self, service):
+        app, client = service
+        first = client.submit(TINY_SPEC)
+        assert first["state"] in ("queued", "running")
+        first = client.wait(first["id"], timeout=120.0)
+        assert first["state"] == "done", first.get("error")
+        assert first["dedup"] is False
+
+        executed_before = app.orchestrator.counters["executed"]
+        dedup_before = app.orchestrator.counters["dedup_hits"]
+
+        second = client.submit(TINY_SPEC)
+        # terminal at submission: served from the run store
+        assert second["state"] == "done"
+        assert second["dedup"] is True
+        assert app.orchestrator.counters["dedup_hits"] == dedup_before + 1
+        # no worker-pool dispatch happened for the resubmission
+        assert app.orchestrator.counters["executed"] == executed_before
+
+        # artifacts are the same bytes, bit for bit
+        for name in ("run.json", "report.txt", "table.json"):
+            a = client.fetch(first["id"], name)
+            b = client.fetch(second["id"], name)
+            assert a == b and len(a) > 0
+
+        # the run manifest is a valid repro-run/1 document
+        from repro.obs.export import validate_run_manifest
+
+        manifest = json.loads(client.fetch(first["id"], "run.json"))
+        assert validate_run_manifest(manifest) == []
+        assert manifest["experiment"] == "fig8"
+
+        # and the table matches a direct in-process run of the driver
+        from repro.experiments import ALL_EXPERIMENTS
+
+        direct = ALL_EXPERIMENTS["fig8"](block_sizes=(64,))
+        report = client.fetch(first["id"], "report.txt").decode()
+        assert report == direct.format_table() + "\n"
+
+    def test_artifact_listing_and_meta(self, service):
+        _, client = service
+        job = client.submit(TINY_SPEC)  # dedup hit from previous test
+        listing = client.artifacts(job["id"])
+        assert sorted(listing["artifacts"]) == [
+            "report.txt", "run.json", "table.json",
+        ]
+        assert listing["meta"]["experiment"] == "fig8"
+
+    def test_metrics_surface_serve_counters(self, service):
+        _, client = service
+        rows = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+            for r in client.metrics()["rows"]
+        }
+        assert rows[("serve.queue_depth", ())] == 0
+        assert rows[("serve.dedup_hits", ())] >= 1
+        assert rows[("serve.store_runs", ())] >= 1
+        assert 0.0 < rows[("serve.dedup_hit_ratio", ())] <= 1.0
+        assert rows[("serve.jobs", (("state", "done"),))] >= 2
+        assert ("serve.cache.hits", ()) in rows
+
+    def test_unknown_job_and_artifact_404(self, service):
+        _, client = service
+        with pytest.raises(ServeError) as exc:
+            client.status("doesnotexist")
+        assert exc.value.status == 404
+        job = client.submit(TINY_SPEC)
+        with pytest.raises(ServeError) as exc:
+            client.fetch(job["id"], "nope.bin")
+        assert exc.value.status == 404
+
+    def test_cancel_endpoint_roundtrip(self, service):
+        _, client = service
+        job = client.submit(TINY_SPEC)  # already done via dedup
+        cancelled = client.cancel(job["id"])  # idempotent no-op
+        assert cancelled["state"] == "done"

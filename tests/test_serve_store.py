@@ -1,0 +1,106 @@
+"""Run-store tests: publication atomicity, half-published invisibility,
+and concurrent publishers of one key."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.store import ENTRY_NAME, RunStore
+
+KEY = "ab" + "0" * 62
+ARTIFACTS = {"report.txt": b"table\n", "run.json": b'{"schema": "repro-run/1"}\n'}
+
+
+class TestPublishGet:
+    def test_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        entry = store.publish(KEY, {"experiment": "fig8"}, ARTIFACTS)
+        assert entry["artifacts"] == ["report.txt", "run.json"]
+        got = store.get(KEY)
+        assert got["key"] == KEY
+        assert got["experiment"] == "fig8"
+        assert store.read_artifact(KEY, "report.txt") == b"table\n"
+        assert list(store.keys()) == [KEY]
+        assert store.count() == 1
+
+    def test_absent_key_is_none(self, tmp_path):
+        assert RunStore(tmp_path).get("ff" + "0" * 62) is None
+
+    def test_missing_artifact_hides_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.publish(KEY, {}, ARTIFACTS)
+        (store.run_dir(KEY) / "report.txt").unlink()
+        assert store.get(KEY) is None  # half-destroyed run = absent
+        assert store.artifact_path(KEY, "run.json") is None
+
+    def test_corrupt_entry_hides_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.publish(KEY, {}, ARTIFACTS)
+        (store.run_dir(KEY) / ENTRY_NAME).write_bytes(b"not json")
+        assert store.get(KEY) is None
+
+    def test_entry_without_artifacts_is_invisible(self, tmp_path):
+        # simulates a publisher that died between artifact writes and
+        # the entry rename: no entry.json, run does not exist
+        store = RunStore(tmp_path)
+        run_dir = store.run_dir(KEY)
+        run_dir.mkdir(parents=True)
+        (run_dir / "report.txt").write_bytes(b"orphan")
+        assert store.get(KEY) is None
+        assert store.count() == 0
+
+    def test_reserved_and_bad_names_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.publish(KEY, {}, {ENTRY_NAME: b"x"})
+        with pytest.raises(ValueError):
+            store.publish(KEY, {}, {"../escape": b"x"})
+        with pytest.raises(ValueError):
+            store.publish(KEY, {}, {".hidden": b"x"})
+
+    def test_read_unknown_artifact_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.publish(KEY, {}, ARTIFACTS)
+        with pytest.raises(KeyError):
+            store.read_artifact(KEY, "nope.bin")
+
+
+class TestConcurrentPublishers:
+    def test_many_threads_one_key_always_consistent(self, tmp_path):
+        """Two jobs materializing the same run concurrently must never
+        leave a torn or mixed entry: every publisher writes the same
+        deterministic bytes, and atomic per-file rename means readers
+        only ever see complete artifacts."""
+        store = RunStore(tmp_path)
+        n_threads, n_rounds = 8, 25
+        errors: list[BaseException] = []
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            try:
+                start.wait()
+                for _ in range(n_rounds):
+                    store.publish(KEY, {"experiment": "x"}, ARTIFACTS)
+                    entry = store.get(KEY)
+                    assert entry is not None
+                    for name, blob in ARTIFACTS.items():
+                        assert store.read_artifact(KEY, name) == blob
+            except BaseException as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors
+        # exactly one coherent published run, no leftover temp files
+        assert store.count() == 1
+        leftovers = [p for p in store.run_dir(KEY).iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+        entry = json.loads((store.run_dir(KEY) / ENTRY_NAME).read_bytes())
+        assert entry["key"] == KEY
