@@ -10,8 +10,18 @@ root so every PR leaves a perf trajectory behind:
    engine speedup from machine noise.
 2. **Workload events/sec** — a fixed jacobi + memcpy + barrier
    workload through the full machine model (coherence, network,
-   processors), reporting simulator events per wall-clock second.
-3. **Sweep wall time** — the full experiment sweep end-to-end at
+   processors), reporting simulator events *and* simulated cycles per
+   wall-clock second.
+3. **Macro-vs-micro ablation** — the same workload with macro-effects
+   (``ComputeLoad`` / ``LoadComputeStore`` / ``StoreRun`` /
+   ``SpinUntilGE`` batches) on and off. Event counts and simulated
+   cycles must be identical (the batch runners chain per-element
+   events); only the wall clock may differ.
+4. **Large-sweep parallel bench** — a 32-point accum sweep big enough
+   to clear the SweepRunner's fan-out threshold, serial vs parallel,
+   reporting ``parallel_speedup``. On single-cpu hosts this records an
+   explicit ``{"skipped": "1 cpu"}`` marker instead of a number.
+5. **Sweep wall time** — the full experiment sweep end-to-end at
    ``--jobs 1`` vs ``--jobs N`` through the parallel SweepRunner, and
    cold vs warm through the content-addressed run cache
    (``repro.perf.cache``). Worker-pool startup is measured separately
@@ -22,8 +32,10 @@ CI regression gate::
 
     python benchmarks/wallclock.py --check BENCH_wallclock.json
 
-re-measures (1) and (2) and exits non-zero if workload events/sec
-fell more than 25% below the committed baseline.
+re-measures (1)-(4) and exits non-zero if workload events/sec fell
+more than 25% below the committed baseline, if the macro/micro
+ablation diverges in events or simulated cycles, or if the parallel
+sweep fails to reach 1.0x speedup (auto-skipped on 1-cpu hosts).
 """
 
 from __future__ import annotations
@@ -125,25 +137,26 @@ def engine_microbench(n_events: int = 300_000, repeats: int = 3) -> dict:
 # ----------------------------------------------------------------------
 # 2. Fixed workload events/sec (full machine model)
 # ----------------------------------------------------------------------
-def _wl_jacobi() -> int:
+def _wl_jacobi(macro: bool = True) -> tuple[int, int]:
     from repro.apps.jacobi import JacobiApp
     from repro.experiments.common import make_machine
 
-    events = 0
+    events = cycles = 0
     for mode in ("sm", "mp"):
         m = make_machine(16)
-        JacobiApp(m, grid_size=64, iters=4, mode=mode).run()
+        JacobiApp(m, grid_size=64, iters=4, mode=mode, macro=macro).run()
         events += m.sim.events_processed
-    return events
+        cycles += m.sim.now
+    return events, cycles
 
 
-def _wl_memcpy() -> int:
+def _wl_memcpy(macro: bool = True) -> tuple[int, int]:
     from repro.experiments.common import make_machine, run_thread_timed
-    from repro.proc.effects import Load
+    from repro.proc.effects import ComputeLoad, Load
     from repro.runtime.bulk import BulkTransfer, copy_no_prefetch, copy_prefetch
 
     nbytes = 4096
-    events = 0
+    events = cycles = 0
     for copier in (copy_no_prefetch, copy_prefetch):
         m = make_machine(4)
         src = m.alloc(0, nbytes)
@@ -152,12 +165,17 @@ def _wl_memcpy() -> int:
             m.store.write(src + i * 8, i)
 
         def bench(m=m, src=src, dst=dst, copier=copier):
-            for i in range(nbytes // 8):
-                yield Load(src + i * 8)
-            yield from copier(src, dst, nbytes)
+            # warm read of the source block
+            if macro:
+                yield ComputeLoad(src, nbytes // 8)
+            else:
+                for i in range(nbytes // 8):
+                    yield Load(src + i * 8)
+            yield from copier(src, dst, nbytes, macro=macro)
 
         run_thread_timed(m, bench())
         events += m.sim.events_processed
+        cycles += m.sim.now
     m = make_machine(4)
     bulk = BulkTransfer(m)
     src = m.alloc(0, nbytes)
@@ -167,16 +185,19 @@ def _wl_memcpy() -> int:
         yield from bulk.send(1, src, dst, nbytes, wait_ack=True)
 
     run_thread_timed(m, mp_bench())
-    return events + m.sim.events_processed
+    return events + m.sim.events_processed, cycles + m.sim.now
 
 
-def _wl_barrier() -> int:
+def _wl_barrier(macro: bool = True) -> tuple[int, int]:
     from repro.experiments.common import make_machine
     from repro.proc.effects import Compute
     from repro.runtime.barrier import MPTreeBarrier, SMTreeBarrier
 
-    events = 0
-    for make in (lambda m: SMTreeBarrier(m, arity=2), lambda m: MPTreeBarrier(m, fanout=8)):
+    events = cycles = 0
+    for make in (
+        lambda m: SMTreeBarrier(m, arity=2, macro=macro),
+        lambda m: MPTreeBarrier(m, fanout=8),
+    ):
         m = make_machine(64)
         barrier = make(m)
 
@@ -189,23 +210,85 @@ def _wl_barrier() -> int:
             m.processor(node).run_thread(participant(node))
         m.run()
         events += m.sim.events_processed
-    return events
+        cycles += m.sim.now
+    return events, cycles
 
 
-def workload_bench(repeats: int = 2) -> dict:
+def workload_bench(repeats: int = 2, macro: bool = True) -> dict:
     best = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        events = _wl_jacobi() + _wl_memcpy() + _wl_barrier()
+        parts = [_wl_jacobi(macro), _wl_memcpy(macro), _wl_barrier(macro)]
         wall = time.perf_counter() - t0
-        if best is None or wall < best[1]:
-            best = (events, wall)
-    events, wall = best
+        if best is None or wall < best[2]:
+            events = sum(p[0] for p in parts)
+            cycles = sum(p[1] for p in parts)
+            best = (events, cycles, wall)
+    events, cycles, wall = best
     return {
         "workload": "jacobi(64x64, sm+mp) + memcpy(4KB, 3 impls) + barrier(64p, sm+mp)",
+        "macro": macro,
         "events": events,
+        "sim_cycles": cycles,
         "wall_sec": round(wall, 3),
         "events_per_sec": round(events / wall),
+        "sim_cycles_per_sec": round(cycles / wall),
+    }
+
+
+def ablation_bench(repeats: int = 2) -> dict:
+    """Macro-effects on vs off over the same workload. The batch
+    runners chain per-element events, so events and simulated cycles
+    must match exactly; only wall clock may differ."""
+    macro = workload_bench(repeats, macro=True)
+    micro = workload_bench(repeats, macro=False)
+    return {
+        "macro_events_per_sec": macro["events_per_sec"],
+        "micro_events_per_sec": micro["events_per_sec"],
+        "macro_wall_sec": macro["wall_sec"],
+        "micro_wall_sec": micro["wall_sec"],
+        "macro_speedup": round(micro["wall_sec"] / macro["wall_sec"], 2),
+        "events_identical": macro["events"] == micro["events"],
+        "sim_cycles_identical": macro["sim_cycles"] == micro["sim_cycles"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Large-sweep parallel bench: does fan-out actually pay off?
+# ----------------------------------------------------------------------
+def parallel_bench(jobs: int) -> dict:
+    """Serial vs parallel over a sweep big enough to clear the
+    SweepRunner fan-out threshold (32 accum points). Single-cpu hosts
+    get an explicit skip marker instead of a meaningless number."""
+    from repro.experiments.common import sweep_map
+    from repro.perf.sweep import SweepPoint, parallel_min_points, warm_pool
+
+    if (os.cpu_count() or 1) < 2:
+        return {"skipped": "1 cpu"}
+    jobs = max(2, jobs)
+    sizes = [256 * (1 << (i // 4)) * (4 + i % 4) for i in range(16)]
+    points = [
+        SweepPoint("repro.experiments.fig8_accum:measure_point",
+                   {"impl": impl, "nbytes": nbytes})
+        for nbytes in sizes
+        for impl in ("sm", "mp")
+    ]
+    assert len(points) >= parallel_min_points(), "sweep too small to fan out"
+    t0 = time.perf_counter()
+    serial = sweep_map(points, jobs=1)
+    serial_wall = time.perf_counter() - t0
+    pool_startup = warm_pool(jobs)
+    t0 = time.perf_counter()
+    parallel = sweep_map(points, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+    return {
+        "sweep_points": len(points),
+        "jobs": jobs,
+        "serial_wall_sec": round(serial_wall, 3),
+        "pool_startup_sec": round(pool_startup, 3),
+        "parallel_wall_sec": round(parallel_wall, 3),
+        "parallel_speedup": round(serial_wall / parallel_wall, 2),
+        "results_identical": parallel == serial,
     }
 
 
@@ -257,14 +340,20 @@ def measure(jobs: int, quick: bool, skip_sweep: bool = False) -> dict:
     n_events = 60_000 if quick else 300_000
     repeats = 1 if quick else 3
     out = {
-        "schema": 1,
+        "schema": 2,
         "host": {
             "cpus": os.cpu_count(),
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
         "engine_microbench": engine_microbench(n_events, repeats),
-        "workload": workload_bench(1 if quick else 2),
+        # best-of-2 even in quick mode: the regression gate compares a
+        # quick CI measurement against a full-run baseline, and a
+        # single sample on a contended runner can false-trip the 25%
+        # floor on host noise alone
+        "workload": workload_bench(2 if quick else 3),
+        "macro_ablation": ablation_bench(1 if quick else 2),
+        "parallel": parallel_bench(jobs),
     }
     if not skip_sweep:
         out["sweep"] = sweep_bench(jobs)
@@ -278,9 +367,31 @@ def check_against(baseline_path: Path, measured: dict, tolerance: float = 0.25) 
     floor = base_eps * (1 - tolerance)
     print(f"workload events/sec: baseline={base_eps:,} measured={got_eps:,} "
           f"floor(-{tolerance:.0%})={floor:,.0f}")
+    failed = False
     if got_eps < floor:
         print("FAIL: events/sec regressed more than "
               f"{tolerance:.0%} vs the committed baseline")
+        failed = True
+    abl = measured["macro_ablation"]
+    if not (abl["events_identical"] and abl["sim_cycles_identical"]):
+        print(f"FAIL: macro/micro ablation diverged: {abl}")
+        failed = True
+    else:
+        print(f"macro ablation: identical events+cycles, "
+              f"{abl['macro_speedup']}x wall speedup over micro")
+    par = measured["parallel"]
+    if par.get("skipped"):
+        print(f"parallel sweep gate: skipped ({par['skipped']})")
+    elif not par["results_identical"]:
+        print(f"FAIL: parallel sweep results diverged from serial: {par}")
+        failed = True
+    elif par["parallel_speedup"] < 1.0:
+        print(f"FAIL: parallel sweep slower than serial: {par}")
+        failed = True
+    else:
+        print(f"parallel sweep: {par['parallel_speedup']}x speedup over "
+              f"{par['sweep_points']} points at jobs={par['jobs']}")
+    if failed:
         return 1
     ratio = measured["engine_microbench"]["speedup_vs_legacy"]
     print(f"engine speedup vs pre-PR replica: {ratio}x")

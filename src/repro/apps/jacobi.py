@@ -28,7 +28,16 @@ from typing import Generator
 import numpy as np
 
 from repro.machine.machine import Machine
-from repro.proc.effects import Compute, Load, LoadAcquire, Store, StoreRelease
+from repro.proc.effects import (
+    Compute,
+    ComputeLoad,
+    Load,
+    LoadAcquire,
+    SpinUntilGE,
+    Store,
+    StoreRelease,
+    StoreRun,
+)
 from repro.runtime.bulk import BulkTransfer
 from repro.runtime.reduce import MPTreeReduce
 
@@ -83,15 +92,20 @@ class JacobiApp:
         mode: str = "sm",
         omega: float = 0.9,
         converge_eps: float | None = None,
+        macro: bool = True,
     ) -> None:
         """``iters`` bounds the iteration count; with ``converge_eps``
         set, nodes additionally all-reduce their residual each
         iteration (a real solver's stopping test) and stop early once
-        the global max-residual drops below eps."""
+        the global max-residual drops below eps. ``macro`` batches the
+        edge-publish, flag-spin and halo-read loops into macro-effects
+        (cycle-identical; False keeps the per-element loops for the
+        ablation and identity tests)."""
         if mode not in ("sm", "mp"):
             raise ValueError(f"mode must be 'sm' or 'mp', got {mode!r}")
         self.machine = machine
         self.mode = mode
+        self.macro = macro
         self.iters = iters
         self.omega = omega
         self.converge_eps = converge_eps
@@ -204,8 +218,11 @@ class JacobiApp:
             for d in st.neighbors:
                 vals = self._edge_values(st, d)
                 base = st.edge_addr[d][parity]
-                for i, v in enumerate(vals):
-                    yield Store(base + i * 8, float(v))
+                if self.macro:
+                    yield StoreRun(base, [float(v) for v in vals])
+                else:
+                    for i, v in enumerate(vals):
+                        yield Store(base + i * 8, float(v))
             # 2. exchange
             if self.mode == "sm":
                 yield from self._exchange_sm(node, st, it)
@@ -240,16 +257,16 @@ class JacobiApp:
             yield StoreRelease(st.flag_addr[d], it + 1)
         for d, nbr in st.neighbors.items():
             nbr_st = self.states[nbr]
-            while True:
-                flag = yield LoadAcquire(nbr_st.flag_addr[_OPP[d]])
-                if flag >= it + 1:
-                    break
-                yield Compute(8)
+            if self.macro:
+                yield SpinUntilGE(nbr_st.flag_addr[_OPP[d]], it + 1, backoff=8)
+            else:
+                while True:
+                    flag = yield LoadAcquire(nbr_st.flag_addr[_OPP[d]])
+                    if flag >= it + 1:
+                        break
+                    yield Compute(8)
             base = nbr_st.edge_addr[_OPP[d]][parity]
-            vals = np.empty(self.b, dtype=np.float64)
-            for i in range(self.b):
-                v = yield Load(base + i * 8)
-                vals[i] = v
+            vals = yield from self._read_edge(base)
             self._set_halo(st, d, vals)
 
     def _exchange_mp(self, node: int, st: _NodeState, it: int) -> Generator:
@@ -266,11 +283,19 @@ class JacobiApp:
             cid = self._cid(nbr, _OPP[d], it)
             yield from self.bulk.arrival_future(cid).wait()
             base = st.halo_addr[d][parity]
-            vals = np.empty(self.b, dtype=np.float64)
-            for i in range(self.b):
-                v = yield Load(base + i * 8)
-                vals[i] = v
+            vals = yield from self._read_edge(base)
             self._set_halo(st, d, vals)
+
+    def _read_edge(self, base: int) -> Generator:
+        """Read one b-element edge/halo array with coherent loads."""
+        if self.macro:
+            raw = yield ComputeLoad(base, self.b)
+            return np.asarray(raw, dtype=np.float64)
+        vals = np.empty(self.b, dtype=np.float64)
+        for i in range(self.b):
+            v = yield Load(base + i * 8)
+            vals[i] = v
+        return vals
 
     def _cid(self, src_node: int, d: str, it: int) -> int:
         """Deterministic copy id for (sender, direction, iteration)."""

@@ -20,7 +20,7 @@ _msg_ids = itertools.count()
 MAX_DESCRIPTOR_WORDS = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockRef:
     """An address-length pair in a descriptor."""
 
@@ -34,9 +34,12 @@ class BlockRef:
             raise ValueError(f"negative block address {self.addr:#x}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """A received (or in-flight) software message."""
+    """A received (or in-flight) software message.
+
+    Slotted: message-heavy workloads (MP barriers, bulk transfers)
+    allocate one of these per delivery."""
 
     src: int
     dst: int
@@ -47,6 +50,9 @@ class Message:
     #: (offset, value) pairs over the concatenated block data
     data_snapshot: list[tuple[int, Any]] = field(default_factory=list)
     mid: int = field(default_factory=lambda: next(_msg_ids))
+    #: send-time vector clock, attached by the happens-before race
+    #: detector (declared here so slotted instances stay annotatable)
+    _hb_clock: Any = field(default=None, repr=False)
 
     @property
     def data_words(self) -> int:

@@ -26,7 +26,7 @@ class LineState(enum.Enum):
     MODIFIED = "M"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0

@@ -31,10 +31,10 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
-from repro.memory.address import home_of, line_of
+from repro.memory.address import NODE_SHIFT, home_of
 from repro.memory.cache import Cache, LineState
 from repro.memory.directory import Directory, DirState
 from repro.network.fabric import Network
@@ -42,6 +42,23 @@ from repro.network.packet import Packet, PacketKind
 from repro.sim.engine import Resource, SimulationError, Simulator
 
 OnDone = Callable[[], None]
+
+# prebound PacketKind members: handle_packet runs once per protocol
+# packet, and enum attribute access there is measurable
+def _noop() -> None:
+    """Placeholder callback for events that exist purely as simulated
+    time (e.g. a fill-release with no waiters)."""
+
+
+_PK_READ_REQ = PacketKind.COH_READ_REQ
+_PK_WRITE_REQ = PacketKind.COH_WRITE_REQ
+_PK_UPGRADE_REQ = PacketKind.COH_UPGRADE_REQ
+_PK_DATA_REPLY = PacketKind.COH_DATA_REPLY
+_PK_ACK_REPLY = PacketKind.COH_ACK_REPLY
+_PK_INV_ACK = PacketKind.COH_INV_ACK
+_PK_INVALIDATE = PacketKind.COH_INVALIDATE
+_PK_FORWARD = PacketKind.COH_FORWARD
+_PK_WRITEBACK = PacketKind.COH_WRITEBACK
 
 
 class AccessKind(enum.Enum):
@@ -98,40 +115,58 @@ class CoherenceParams:
         return self.header_words + line_size // 4
 
 
-@dataclass
 class _Txn:
-    """Requester-side outstanding transaction (MSHR entry)."""
+    """Requester-side outstanding transaction (MSHR entry).
 
-    node: int
-    line: int
-    kind: AccessKind
-    is_prefetch: bool = False
-    #: (kind, on_done) pairs released when the fill lands
-    waiters: list[tuple[AccessKind, OnDone]] = field(default_factory=list)
-    #: protocol actions (invalidations/forwards) that raced ahead of
-    #: our data reply; applied immediately after the fill (the real
-    #: hardware NACKs or defers in a transient state)
-    post_fill: list[Callable[[], None]] = field(default_factory=list)
-    #: set once the home has dispatched our reply. Only then may
-    #: protocol actions be deferred onto this transaction: deferring
-    #: while our request is still queued at the home would deadlock
-    #: (the incoming action belongs to the very transaction our
-    #: request is queued behind).
-    reply_in_flight: bool = False
+    Plain slotted class, not a dataclass: one is allocated per
+    coherence miss, which makes construction cost and per-instance
+    memory part of the simulator's hot path.
+    """
+
+    __slots__ = ("node", "line", "kind", "is_prefetch", "waiters",
+                 "post_fill", "reply_in_flight")
+
+    def __init__(
+        self, node: int, line: int, kind: AccessKind, is_prefetch: bool = False
+    ) -> None:
+        self.node = node
+        self.line = line
+        self.kind = kind
+        self.is_prefetch = is_prefetch
+        #: (kind, on_done) pairs released when the fill lands
+        self.waiters: list[tuple[AccessKind, OnDone]] = []
+        #: protocol actions (invalidations/forwards) that raced ahead of
+        #: our data reply; applied immediately after the fill (the real
+        #: hardware NACKs or defers in a transient state)
+        self.post_fill: list[Callable[[], None]] = []
+        #: set once the home has dispatched our reply. Only then may
+        #: protocol actions be deferred onto this transaction: deferring
+        #: while our request is still queued at the home would deadlock
+        #: (the incoming action belongs to the very transaction our
+        #: request is queued behind).
+        self.reply_in_flight = False
 
 
-@dataclass
 class _HomeReq:
-    """A transaction as seen by the home directory."""
+    """A transaction as seen by the home directory (slotted; one per
+    request reaching a home node)."""
 
-    kind: AccessKind | str  # AccessKind, "upgrade", or "writeback"
-    node: int
-    line: int
-    #: for writebacks: whether the evictor held the line MODIFIED
-    was_modified: bool = False
+    __slots__ = ("kind", "node", "line", "was_modified")
+
+    def __init__(
+        self,
+        kind: "AccessKind | str",  # AccessKind, "upgrade", or "writeback"
+        node: int,
+        line: int,
+        was_modified: bool = False,  # writebacks: evictor held it MODIFIED
+    ) -> None:
+        self.kind = kind
+        self.node = node
+        self.line = line
+        self.was_modified = was_modified
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceStats:
     transactions: int = 0
     read_misses: int = 0
@@ -159,6 +194,7 @@ class CoherenceEngine:
         self.sim = sim
         self.network = network
         self.line_size = line_size
+        self._line_mask = ~(line_size - 1)  # inline line_of on the hot path
         self.p = params or CoherenceParams()
         self.caches: dict[int, Cache] = {}
         self.dirs: dict[int, Directory] = {}
@@ -218,7 +254,7 @@ class CoherenceEngine:
         transaction state, no event record, no heap round-trip — while
         retiring at exactly the same simulated cycle as before.
         """
-        line = line_of(addr, self.line_size)
+        line = addr & self._line_mask
         cache = self.caches[node]
 
         if kind is AccessKind.PREFETCH:
@@ -272,8 +308,8 @@ class CoherenceEngine:
             self.stats.upgrades += 1
         else:
             self.stats.write_misses += 1
-        home = home_of(line)
-        req = _HomeReq(kind="upgrade" if upgrade else kind, node=node, line=line)
+        home = line >> NODE_SHIFT  # home_of, inlined
+        req = _HomeReq("upgrade" if upgrade else kind, node, line)
         if home == node:
             self.stats.local_transactions += 1
             self.sim.call_after(
@@ -293,31 +329,25 @@ class CoherenceEngine:
     # Network plumbing
     # ------------------------------------------------------------------
     def _send(self, src: int, dst: int, kind: PacketKind, words: int, payload) -> None:
-        self.network.send(Packet(src=src, dst=dst, kind=kind, size_words=words, payload=payload))
+        self.network.send(Packet(src, dst, kind, words, payload))
 
     def handle_packet(self, packet: Packet) -> None:
         """Entry point for protocol packets delivered by the network
-        (called from the node's CMMU sink)."""
+        (called from the node's CMMU sink). Dispatch is identity tests
+        against prebound members, most-frequent kinds first (replies
+        and requests dominate protocol traffic)."""
         kind = packet.kind
-        if kind in (
-            PacketKind.COH_READ_REQ,
-            PacketKind.COH_WRITE_REQ,
-            PacketKind.COH_UPGRADE_REQ,
-        ):
-            self._home_enqueue(packet.dst, packet.payload)
-        elif kind is PacketKind.COH_WRITEBACK:
-            self._home_enqueue(packet.dst, packet.payload)
-        elif kind is PacketKind.COH_INVALIDATE:
-            self._on_invalidate(packet)
-        elif kind is PacketKind.COH_FORWARD:
-            self._on_forward(packet)
-        elif kind in (
-            PacketKind.COH_DATA_REPLY,
-            PacketKind.COH_ACK_REPLY,
-            PacketKind.COH_INV_ACK,
-        ):
+        if kind is _PK_DATA_REPLY or kind is _PK_ACK_REPLY or kind is _PK_INV_ACK:
             # continuation-style payloads: a callable to invoke on arrival
             packet.payload()
+        elif kind is _PK_READ_REQ or kind is _PK_WRITE_REQ or kind is _PK_UPGRADE_REQ:
+            self._home_enqueue(packet.dst, packet.payload)
+        elif kind is _PK_WRITEBACK:
+            self._home_enqueue(packet.dst, packet.payload)
+        elif kind is _PK_INVALIDATE:
+            self._on_invalidate(packet)
+        elif kind is _PK_FORWARD:
+            self._on_forward(packet)
         else:  # pragma: no cover
             raise SimulationError(f"coherence engine got {packet!r}")
 
@@ -344,14 +374,15 @@ class CoherenceEngine:
             self._line_busy.discard(key)
 
     def _process(self, home: int, req: _HomeReq) -> None:
-        if req.kind == "writeback":
-            self._process_writeback(home, req)
-        elif req.kind == "upgrade":
-            self._process_upgrade(home, req)
-        elif req.kind is AccessKind.READ:
+        kind = req.kind
+        if kind is AccessKind.READ:
             self._process_read(home, req)
-        elif req.kind is AccessKind.WRITE:
+        elif kind is AccessKind.WRITE:
             self._process_write(home, req)
+        elif kind == "writeback":
+            self._process_writeback(home, req)
+        elif kind == "upgrade":
+            self._process_upgrade(home, req)
         else:  # pragma: no cover
             raise SimulationError(f"bad home request {req!r}")
 
@@ -368,7 +399,7 @@ class CoherenceEngine:
         if entry.state is not DirState.SHARED or requester not in entry.sharers:
             self._process_write(home, _HomeReq(AccessKind.WRITE, requester, line))
             return
-        ready = self._occupy(home, d.overflowed(entry), with_data=False, requester=requester)
+        ready = self._occupy(home, len(entry.sharers) > d.hw_pointers, with_data=False, requester=requester)
         invs = d.sharers_to_invalidate(line, excluding=requester)
         if not invs:
             d.set_exclusive(line, requester)
@@ -430,7 +461,7 @@ class CoherenceEngine:
         line, requester = req.line, req.node
         d = self.dirs[home]
         entry = d.entry(line)
-        ready = self._occupy(home, d.overflowed(entry), with_data=True, requester=requester)
+        ready = self._occupy(home, len(entry.sharers) > d.hw_pointers, with_data=True, requester=requester)
 
         if entry.state is DirState.EXCLUSIVE and entry.owner == requester:
             # Stale ownership (eviction writeback in flight); the data
@@ -487,7 +518,7 @@ class CoherenceEngine:
         line, requester = req.line, req.node
         d = self.dirs[home]
         entry = d.entry(line)
-        ready = self._occupy(home, d.overflowed(entry), with_data=True, requester=requester)
+        ready = self._occupy(home, len(entry.sharers) > d.hw_pointers, with_data=True, requester=requester)
 
         if entry.state is DirState.EXCLUSIVE and entry.owner == requester:
             d.clear(line)
@@ -647,14 +678,19 @@ class CoherenceEngine:
             # legally overtake the reply and must be deferred
             txn.reply_in_flight = True
 
-        def deliver() -> None:
-            if home == requester:
-                self.sim.call_after(self.p.request_issue, lambda: self._fill(requester, line, state))
-            else:
-                self._send(
-                    home, requester, pk, words,
-                    lambda: self._fill(requester, line, state),
-                )
+        # the home==requester decision is known now; build the cheaper
+        # of the two deliver closures instead of branching at fire time
+        fill = lambda: self._fill(requester, line, state)
+        if home == requester:
+            issue = self.p.request_issue
+            call_after = self.sim.call_after
+
+            def deliver() -> None:
+                call_after(issue, fill)
+        else:
+
+            def deliver() -> None:
+                self._send(home, requester, pk, words, fill)
 
         self.sim.call_at(at, deliver)
         # The home's part is done once the reply leaves; free the line
@@ -679,6 +715,12 @@ class CoherenceEngine:
         for action in txn.post_fill:
             action()
         waiters = txn.waiters
+        if not waiters:
+            # the release event must still exist (it is simulated time
+            # the requester observes), but it has nothing to do — skip
+            # the closure allocation for this common case
+            self.sim.call_after(self.p.fill_cycles, _noop)
+            return
 
         def release() -> None:
             for kind, cb in waiters:

@@ -21,7 +21,7 @@ class DirState(enum.Enum):
     EXCLUSIVE = "exclusive"
 
 
-@dataclass
+@dataclass(slots=True)
 class DirEntry:
     state: DirState = DirState.UNOWNED
     sharers: set[int] = field(default_factory=set)
@@ -37,7 +37,7 @@ class DirEntry:
             assert self.owner is not None and not self.sharers
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryStats:
     lookups: int = 0
     software_traps: int = 0  # LimitLESS pointer-overflow handler entries
@@ -79,38 +79,55 @@ class Directory:
     def note_software_trap(self) -> None:
         self.stats.software_traps += 1
 
+    # The mutators below inline ``entry()`` (including its
+    # ``stats.lookups`` bump, so counts are unchanged) — they run once
+    # or more per protocol transaction and the extra call showed up in
+    # profiles.
+
     def add_sharer(self, line: int, node: int) -> bool:
         """Record a read copy at ``node``; True if this overflows hardware.
 
         Must not be called while the entry is EXCLUSIVE — the engine
         resolves exclusivity (writeback) first.
         """
-        e = self.entry(line)
+        self.stats.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = DirEntry()
         if e.state is DirState.EXCLUSIVE:
             raise ValueError(f"line {line:#x} is EXCLUSIVE; resolve ownership first")
         e.sharers.add(node)
         e.state = DirState.SHARED
         e.owner = None
-        overflow = self.overflowed(e)
-        if overflow:
-            self.note_software_trap()
-        return overflow
+        if len(e.sharers) > self.hw_pointers:
+            self.stats.software_traps += 1
+            return True
+        return False
 
     def set_exclusive(self, line: int, node: int) -> None:
-        e = self.entry(line)
+        self.stats.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = DirEntry()
         e.state = DirState.EXCLUSIVE
         e.owner = node
         e.sharers.clear()
 
     def clear(self, line: int) -> None:
         """Return the line to UNOWNED (after writeback/invalidation)."""
-        e = self.entry(line)
+        self.stats.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = DirEntry()
         e.state = DirState.UNOWNED
         e.owner = None
         e.sharers.clear()
 
     def drop_sharer(self, line: int, node: int) -> None:
-        e = self.entry(line)
+        self.stats.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = DirEntry()
         e.sharers.discard(node)
         if not e.sharers and e.state is DirState.SHARED:
             e.state = DirState.UNOWNED

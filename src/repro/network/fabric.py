@@ -26,7 +26,7 @@ from repro.sim.engine import Resource, SimulationError, Simulator
 DeliverFn = Callable[[Packet], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic counters.
 
@@ -98,6 +98,13 @@ class Network:
         self.injection_latency = injection_latency
         self._links: dict[tuple[int, int], Resource] = {}
         self._sinks: dict[int, DeliverFn] = {}
+        #: per-(src, dst) resolved link Resource chains — route lookup
+        #: and per-hop dict resolution done once, not per packet
+        self._route_links: dict[tuple[int, int], list[Resource]] = {}
+        #: size_words -> ceil(words * cycles_per_word): protocol packets
+        #: come in a handful of fixed sizes, so the per-packet float
+        #: ceil math collapses to a dict probe
+        self._body_cache: dict[int, int] = {}
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -126,24 +133,35 @@ class Network:
             raise SimulationError(f"no sink attached at node {packet.dst}")
         now = self.sim.now
         packet.launched_at = now
-        cpw = (
-            packet.cycles_per_word_override
-            if packet.cycles_per_word_override is not None
-            else self.cycles_per_word
-        )
-        if cpw < self.cycles_per_word:
-            cpw = self.cycles_per_word  # links cannot stream faster than wires
-        body_cycles = int(-(-packet.size_words * cpw // 1))
+        if packet.cycles_per_word_override is None:
+            body_cycles = self._body_cache.get(packet.size_words)
+            if body_cycles is None:
+                body_cycles = int(-(-packet.size_words * self.cycles_per_word // 1))
+                self._body_cache[packet.size_words] = body_cycles
+        else:
+            cpw = packet.cycles_per_word_override
+            if cpw < self.cycles_per_word:
+                cpw = self.cycles_per_word  # links cannot stream faster than wires
+            body_cycles = int(-(-packet.size_words * cpw // 1))
 
         if packet.src == packet.dst:
             arrival = now + self.local_loopback_latency + body_cycles
         else:
-            route = self.mesh.route(packet.src, packet.dst)
+            links = self._route_links.get((packet.src, packet.dst))
+            if links is None:
+                links = [
+                    self._link(a, b)
+                    for a, b in self.mesh.route(packet.src, packet.dst)
+                ]
+                self._route_links[(packet.src, packet.dst)] = links
             head = now + self.injection_latency
             tail = head
-            for a, b in route:
-                link = self._link(a, b)
-                start = max(head + self.hop_latency, link.available_at())
+            hop = self.hop_latency
+            for link in links:
+                start = head + hop
+                avail = link.busy_until
+                if avail > start:
+                    start = avail
                 link.busy_until = start + body_cycles
                 link.total_busy += body_cycles
                 head = start
@@ -151,12 +169,13 @@ class Network:
             arrival = tail
 
         packet.delivered_at = arrival
-        self.stats.packets += 1
-        self.stats.words += packet.size_words
-        self.stats.by_kind[packet.kind] += 1
-        self.stats.total_latency += arrival - now
+        stats = self.stats
+        stats.packets += 1
+        stats.words += packet.size_words
+        stats.by_kind[packet.kind] += 1
+        stats.total_latency += arrival - now
         sink = self._sinks[packet.dst]
-        self.sim.call_at(arrival, lambda: sink(packet))
+        self.sim.call_after(arrival - now, lambda: sink(packet))
         return arrival
 
     def link_utilization(self) -> dict[tuple[int, int], int]:

@@ -18,6 +18,12 @@ _packet_ids = itertools.count()
 class PacketKind(enum.Enum):
     """Coarse classification used for routing to the right consumer."""
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name-based Enum hash — but object.__hash__ is a C slot,
+    # and every packet is hashed several times (is_protocol frozenset
+    # probe, per-kind stats Counter) on the hot path.
+    __hash__ = object.__hash__
+
     # --- cache-coherence protocol traffic (consumed by CMMU hardware) ---
     COH_READ_REQ = "coh_read_req"
     COH_WRITE_REQ = "coh_write_req"          # read-exclusive
@@ -51,9 +57,10 @@ PROTOCOL_KINDS = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """A single network packet.
+    """A single network packet (slotted: coherence-heavy runs create
+    millions of them).
 
     ``size_words`` (32-bit words, header included) determines the
     occupancy of each link the packet crosses; ``payload`` carries
@@ -70,7 +77,7 @@ class Packet:
     #: link bandwidth — used for DMA transfers whose end-to-end rate is
     #: limited by the (slower) memory DMA engines at the endpoints
     cycles_per_word_override: float | None = None
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    pid: int = field(default_factory=_packet_ids.__next__)
     launched_at: int = -1
     delivered_at: int = -1
 

@@ -39,6 +39,9 @@ class Mesh2D:
         self.n_nodes = n_nodes
         self.width = width
         self.height = n_nodes // width
+        #: memoized routes — routing is a pure function of (src, dst),
+        #: and hot protocol paths re-route the same pairs constantly
+        self._route_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
 
     # ------------------------------------------------------------------
     def coord(self, node: int) -> Coord:
@@ -60,8 +63,16 @@ class Mesh2D:
         """XY route as a list of directed links ``(from, to)``.
 
         An empty list means ``src == dst`` (local delivery; no links
-        traversed).
+        traversed). Memoized; callers must not mutate the result.
         """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        route = self._compute_route(src, dst)
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _compute_route(self, src: int, dst: int) -> list[tuple[int, int]]:
         self._check(src)
         self._check(dst)
         links: list[tuple[int, int]] = []
@@ -118,7 +129,7 @@ class Torus2D(Mesh2D):
             return (cur + 1) % size
         return (cur - 1) % size
 
-    def route(self, src: int, dst: int) -> list[tuple[int, int]]:
+    def _compute_route(self, src: int, dst: int) -> list[tuple[int, int]]:
         """Dimension-ordered routing, taking the shorter way around
         each ring (deadlock-free with the usual virtual-channel
         assumption, which our timing model abstracts)."""

@@ -1,0 +1,551 @@
+"""Batch runners for macro-effects.
+
+A macro-effect (:class:`~repro.proc.effects.ComputeLoad` and friends)
+describes a whole hot loop in one yielded object. The processor's
+``_step`` routes the context to one of these batch runners, which
+issues the loop's micro-operations one at a time through the *same*
+machinery a hand-written ``yield``-per-element loop uses: loads and
+stores go through ``CoherenceEngine.access`` (hit fast path and MSHR
+miss path alike), completions route through ``Processor._complete``
+(so handler borrowing, deferred resumptions, miss context switches and
+the store buffer behave identically), and each element schedules its
+own completion event in exactly the order and at exactly the cycle the
+micro program would. Cycle identity is by construction: the only
+things removed are per-element host-side costs — the generator resume,
+the effect-object allocation, the dispatch dict lookup and the
+per-element completion closure.
+
+Misses need no special casing: the faulting element's ``access``
+returns False, the context may be miss-switched out, and the batch
+simply does not advance until the fill (or a handler's deferred drain)
+delivers the element's completion — the batch splits at the faulting
+element for free.
+
+Observability: when a tracer/profiler/checker has instance-patched the
+processor's ``_execute``, the batch materializes each element as a real
+micro effect object and feeds it through the patched ``_execute``, so
+observers see the exact per-element stream (same classes, same
+addresses, same cycles) a micro program produces. Unobserved runs take
+an inline fast path with identical timing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.memory.cache import LineState
+from repro.memory.coherence import AccessKind
+from repro.proc import effects as fx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proc.processor import Context, Processor
+
+#: element-sequencer states (which micro-op just completed / is next)
+_INIT, _PREFETCH, _PREFETCH2, _LOAD, _STORE, _COMPUTE = range(6)
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+_PREFETCH_KIND = AccessKind.PREFETCH
+_INVALID = LineState.INVALID
+_EXCLUSIVE = LineState.EXCLUSIVE
+_MODIFIED = LineState.MODIFIED
+
+
+class _BatchBase:
+    """Shared micro-op issue machinery. One micro-op is outstanding at
+    a time, so per-op scratch state (``_addr``/``_value``) lives on the
+    batch and the four completion callbacks are pre-bound once per
+    batch instead of one closure per element."""
+
+    __slots__ = (
+        "proc", "ctx", "observed", "_addr", "_value",
+        "_cb_plain", "_cb_read", "_cb_fwd", "_cb_write",
+        "_call_after", "_cache_lines", "_cache_stats", "_line_mask",
+        "_load_hit", "_store_hit", "_compute_unit", "_pstats", "_store",
+    )
+
+    def __init__(self, proc: "Processor", ctx: "Context") -> None:
+        self.proc = proc
+        self.ctx = ctx
+        # instance-patched _execute == an observer wants the
+        # per-element effect stream
+        self.observed = "_execute" in proc.__dict__
+        self._cb_plain = self._done_plain
+        self._cb_read = self._done_read
+        self._cb_fwd = self._done_fwd
+        self._cb_write = self._done_write
+        # Coherence hit fast path, folded into the batch: the hit test
+        # and its LRU/stats bookkeeping are replicated inline from
+        # Cache.lookup against prebound references, so the (dominant)
+        # all-hits case skips the access()/lookup() call pair entirely.
+        # Non-hits fall back to the full CoherenceEngine.access, which
+        # redoes the (failing) lookup and counts the miss exactly once.
+        coh = proc.coherence
+        cache = coh.caches[proc.node]
+        self._cache_lines = cache._lines
+        self._cache_stats = cache.stats
+        self._line_mask = ~(coh.line_size - 1)
+        self._load_hit = coh.p.load_hit
+        self._store_hit = coh.p.store_hit
+        self._call_after = proc.sim.call_after
+        self._compute_unit = proc.p.compute_unit
+        self._pstats = proc.stats
+        self._store = proc.store
+
+    # -- completion callbacks ------------------------------------------
+    # Each callback inlines Processor._complete's interruptible-point
+    # checks and, when none applies, steps the batch directly — the
+    # _complete -> _step detour exists to route to ``ctx.batch``, which
+    # is this object. Any pending interrupt/deferral/stall falls back
+    # to the real _complete so the semantics stay identical.
+    def _quiet(self) -> bool:
+        proc = self.proc
+        ctx = self.ctx
+        ctx.miss_pending = False
+        return ctx.is_handler or not (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        )
+
+    def _done_plain(self) -> None:
+        ctx = self.ctx
+        ctx.miss_pending = False
+        proc = self.proc
+        if ctx.is_handler or not (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        ):
+            self.step(None)
+        else:
+            proc._complete(ctx)
+
+    def _done_read(self) -> None:
+        # value read at completion time, exactly like the micro path's
+        # ``lambda: self._complete(ctx, self.store.read(addr))``;
+        # BackingStore.read inlined (reads counter preserved)
+        store = self._store
+        store.reads += 1
+        value = store._mem.get(self._addr, 0)
+        ctx = self.ctx
+        ctx.miss_pending = False
+        proc = self.proc
+        if ctx.is_handler or not (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        ):
+            self.step(value)
+        else:
+            proc._complete(ctx, value)
+
+    def _done_fwd(self) -> None:
+        if self._quiet():
+            self.step(self._value)
+        else:
+            self.proc._complete(self.ctx, self._value)
+
+    def _done_write(self) -> None:
+        proc = self.proc
+        proc.store.write(self._addr, self._value)
+        ctx = self.ctx
+        ctx.miss_pending = False
+        if ctx.is_handler or not (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        ):
+            self.step(None)
+        else:
+            proc._complete(ctx)
+
+    # -- micro-op issue ------------------------------------------------
+    def _issue_compute(self, cycles: int) -> None:
+        self._pstats.effects += 1
+        if self.observed:
+            self.proc._execute(self.ctx, fx.Compute(cycles))
+            return
+        c = cycles * self._compute_unit
+        self._pstats.busy_cycles += c
+        self._call_after(c, self._cb_plain)
+
+    def _issue_load(self, addr: int, acquire: bool = False) -> None:
+        self._pstats.effects += 1
+        if self.observed:
+            self.proc._execute(
+                self.ctx, fx.LoadAcquire(addr) if acquire else fx.Load(addr)
+            )
+            return
+        proc = self.proc
+        if proc._store_buffer:
+            forwarded = proc._forward_from_store_buffer(addr)
+            if forwarded is not None:
+                self._value = forwarded[0]
+                self._call_after(self._load_hit, self._cb_fwd)
+                return
+        self._addr = addr
+        lines = self._cache_lines
+        line = addr & self._line_mask
+        st = lines.get(line)
+        if st is not None and st is not _INVALID:
+            lines.move_to_end(line)
+            self._cache_stats.hits += 1
+            self._call_after(self._load_hit, self._cb_read)
+            return
+        if not proc.coherence.access(proc.node, addr, _READ, self._cb_read):
+            proc._maybe_miss_switch(self.ctx)
+
+    def _issue_store(self, addr: int, value: Any, release: bool = False) -> None:
+        self._pstats.effects += 1
+        if self.observed:
+            self.proc._execute(
+                self.ctx,
+                fx.StoreRelease(addr, value) if release else fx.Store(addr, value),
+            )
+            return
+        proc = self.proc
+        if proc.p.store_buffer_depth > 0:
+            proc._buffered_store(self.ctx, addr, value)
+            return
+        self._addr = addr
+        self._value = value
+        lines = self._cache_lines
+        line = addr & self._line_mask
+        st = lines.get(line)
+        if st is _MODIFIED:
+            lines.move_to_end(line)
+            self._cache_stats.hits += 1
+            self._call_after(self._store_hit, self._cb_write)
+            return
+        if st is _EXCLUSIVE:
+            # silent E->M promotion, exactly as Cache.lookup(for_write)
+            lines[line] = _MODIFIED
+            self._cache_stats.upgrades += 1
+            lines.move_to_end(line)
+            self._cache_stats.hits += 1
+            self._call_after(self._store_hit, self._cb_write)
+            return
+        if not proc.coherence.access(proc.node, addr, _WRITE, self._cb_write):
+            proc._maybe_miss_switch(self.ctx)
+
+    def _issue_prefetch(self, addr: int) -> None:
+        proc = self.proc
+        proc.stats.effects += 1
+        if self.observed:
+            proc._execute(self.ctx, fx.Prefetch(addr))
+            return
+        proc.coherence.access(proc.node, addr, _PREFETCH_KIND, self._cb_plain)
+
+    # -- batch end -----------------------------------------------------
+    def _resume(self, result: Any) -> None:
+        """Batch done: detach and resume the program's generator with
+        the batch result (same call depth the micro program's last
+        ``gen.send`` would have had)."""
+        ctx = self.ctx
+        ctx.batch = None
+        self.proc._step(ctx, result)
+
+
+class ComputeLoadBatch(_BatchBase):
+    """[Prefetch?] Load [Compute?] per element; collects values."""
+
+    __slots__ = ("base", "stride", "count", "compute", "per_line",
+                 "values", "i", "state")
+
+    def __init__(self, proc: "Processor", ctx: "Context", eff) -> None:
+        super().__init__(proc, ctx)
+        self.base = eff.base
+        self.stride = eff.stride
+        self.count = eff.count
+        self.compute = eff.compute
+        self.per_line = eff.prefetch_line // eff.stride if eff.prefetch_line else 0
+        self.values: list[Any] = []
+        self.i = 0
+        self.state = _INIT
+        # collapse the _done_read -> step element advance into one
+        # callback (the dominant completion in gather loops)
+        self._cb_read = self._loaded
+
+    def _loaded(self) -> None:
+        store = self._store
+        store.reads += 1
+        value = store._mem.get(self._addr, 0)
+        ctx = self.ctx
+        ctx.miss_pending = False
+        proc = self.proc
+        if not ctx.is_handler and (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        ):
+            proc._complete(ctx, value)
+            return
+        self.values.append(value)
+        if self.compute:
+            self.state = _COMPUTE
+            self._issue_compute(self.compute)
+            return
+        self.i += 1
+        self._next()
+
+    def step(self, value: Any) -> None:
+        st = self.state
+        if st == _LOAD:
+            self.values.append(value)
+            if self.compute:
+                self.state = _COMPUTE
+                self._issue_compute(self.compute)
+                return
+            self.i += 1
+        elif st == _COMPUTE:
+            self.i += 1
+        elif st == _PREFETCH:
+            self._load()
+            return
+        self._next()
+
+    def _next(self) -> None:
+        i = self.i
+        if i >= self.count:
+            self._resume(self.values)
+            return
+        pl = self.per_line
+        if pl and i % pl == 0 and (i + pl) < self.count:
+            self.state = _PREFETCH
+            self._issue_prefetch(self.base + (i + pl) * self.stride)
+            return
+        self._load()
+
+    def _load(self) -> None:
+        self.state = _LOAD
+        self._issue_load(self.base + self.i * self.stride)
+
+
+class LoadComputeStoreBatch(_BatchBase):
+    """The §4.4 copy loops: per element [Prefetch src+dst at line
+    boundaries] Load src, Store dst, [Compute]."""
+
+    __slots__ = ("src", "dst", "stride", "count", "compute",
+                 "prefetch_line", "nbytes", "i", "state")
+
+    def __init__(self, proc: "Processor", ctx: "Context", eff) -> None:
+        super().__init__(proc, ctx)
+        self.src = eff.src
+        self.dst = eff.dst
+        self.stride = eff.stride
+        self.count = eff.count
+        self.compute = eff.compute
+        self.prefetch_line = eff.prefetch_line
+        self.nbytes = eff.count * eff.stride
+        self.i = 0
+        self.state = _INIT
+
+    def step(self, value: Any) -> None:
+        st = self.state
+        if st == _LOAD:
+            self.state = _STORE
+            self._issue_store(self.dst + self.i * self.stride, value)
+            return
+        if st == _PREFETCH:
+            self.state = _PREFETCH2
+            self._issue_prefetch(
+                self.dst + self.i * self.stride + self.prefetch_line
+            )
+            return
+        if st == _PREFETCH2:
+            self._load()
+            return
+        if st == _STORE:
+            if self.compute:
+                self.state = _COMPUTE
+                self._issue_compute(self.compute)
+                return
+            self.i += 1
+        elif st == _COMPUTE:
+            self.i += 1
+        self._next()
+
+    def _next(self) -> None:
+        i = self.i
+        if i >= self.count:
+            self._resume(None)
+            return
+        pl = self.prefetch_line
+        off = i * self.stride
+        if pl and off % pl == 0 and off + pl < self.nbytes:
+            self.state = _PREFETCH
+            self._issue_prefetch(self.src + off + pl)
+            return
+        self._load()
+
+    def _load(self) -> None:
+        self.state = _LOAD
+        self._issue_load(self.src + self.i * self.stride)
+
+
+class StoreRunBatch(_BatchBase):
+    """Store values[i] to base + i*stride, in order."""
+
+    __slots__ = ("base", "stride", "values", "i")
+
+    def __init__(self, proc: "Processor", ctx: "Context", eff) -> None:
+        super().__init__(proc, ctx)
+        self.base = eff.base
+        self.stride = eff.stride
+        self.values = eff.values
+        self.i = -1
+
+    def step(self, value: Any) -> None:
+        self.i += 1
+        i = self.i
+        vals = self.values
+        if i >= len(vals):
+            self._resume(None)
+            return
+        self._issue_store(self.base + i * self.stride, vals[i])
+
+
+class RepeatBatch(_BatchBase):
+    """Execute the body effect sequence count times, results discarded."""
+
+    __slots__ = ("body", "blen", "total", "k")
+
+    def __init__(self, proc: "Processor", ctx: "Context", eff) -> None:
+        super().__init__(proc, ctx)
+        self.body = eff.body
+        self.blen = len(eff.body)
+        self.total = eff.count * self.blen
+        self.k = -1
+
+    def step(self, value: Any) -> None:
+        self.k += 1
+        k = self.k
+        if k >= self.total:
+            self._resume(None)
+            return
+        op = self.body[k % self.blen]
+        cls = op.__class__
+        if cls is fx.Compute:
+            self._issue_compute(op.cycles)
+        elif cls is fx.Load:
+            self._issue_load(op.addr)
+        elif cls is fx.LoadAcquire:
+            self._issue_load(op.addr, acquire=True)
+        elif cls is fx.Store:
+            self._issue_store(op.addr, op.value)
+        elif cls is fx.StoreRelease:
+            self._issue_store(op.addr, op.value, release=True)
+        else:  # fx.Prefetch — body contents validated at construction
+            self._issue_prefetch(op.addr)
+
+
+class SpinBatch(_BatchBase):
+    """Acquire-spin until the loaded value reaches the threshold."""
+
+    __slots__ = ("addr", "threshold", "backoff", "state", "_line")
+
+    def __init__(self, proc: "Processor", ctx: "Context", eff) -> None:
+        super().__init__(proc, ctx)
+        self.addr = eff.addr
+        self.threshold = eff.threshold
+        self.backoff = eff.backoff
+        self.state = _INIT
+        self._line = eff.addr & self._line_mask
+        # spins complete thousands of probe loads and backoffs;
+        # collapse the _done_* -> step state-machine detours into
+        # spin-specific callbacks. These callbacks only ever fire on
+        # unobserved batches (observed loads route through _execute and
+        # complete via _complete -> step), so the inlined issue paths
+        # below need no ``observed`` branch.
+        self._cb_read = self._spin_probe
+        self._cb_plain = self._backoff_done
+
+    def _reload(self, proc: "Processor") -> None:
+        """_issue_load(self.addr, acquire=True), inlined for the fixed
+        spin address (line base precomputed at batch construction)."""
+        self._pstats.effects += 1
+        if proc._store_buffer:
+            forwarded = proc._forward_from_store_buffer(self.addr)
+            if forwarded is not None:
+                self._value = forwarded[0]
+                self._call_after(self._load_hit, self._cb_fwd)
+                return
+        lines = self._cache_lines
+        line = self._line
+        st = lines.get(line)
+        if st is not None and st is not _INVALID:
+            lines.move_to_end(line)
+            self._cache_stats.hits += 1
+            self._call_after(self._load_hit, self._cb_read)
+            return
+        if not proc.coherence.access(proc.node, self.addr, _READ, self._cb_read):
+            proc._maybe_miss_switch(self.ctx)
+
+    def _backoff_done(self) -> None:
+        ctx = self.ctx
+        ctx.miss_pending = False
+        proc = self.proc
+        if not ctx.is_handler and (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        ):
+            proc._complete(ctx)
+            return
+        self.state = _LOAD
+        self._reload(proc)
+
+    def _spin_probe(self) -> None:
+        """Load-completion callback: the whole spin iteration inline.
+        Falls back to _complete (which re-enters step()) at any
+        interruptible point, exactly like _done_read."""
+        store = self._store
+        store.reads += 1
+        value = store._mem.get(self.addr, 0)
+        ctx = self.ctx
+        ctx.miss_pending = False
+        proc = self.proc
+        if not ctx.is_handler and (
+            proc.in_handler
+            or (proc.cmmu.in_queue and not proc.imask)
+            or ctx in proc._stalled
+        ):
+            proc._complete(ctx, value)
+            return
+        if value >= self.threshold:
+            self._resume(value)
+            return
+        backoff = self.backoff
+        if backoff:
+            # _issue_compute(backoff), inlined
+            self.state = _COMPUTE
+            pstats = self._pstats
+            pstats.effects += 1
+            c = backoff * self._compute_unit
+            pstats.busy_cycles += c
+            self._call_after(c, self._cb_plain)
+            return
+        self._reload(proc)
+
+    def step(self, value: Any) -> None:
+        if self.state == _LOAD:
+            if value >= self.threshold:
+                self._resume(value)
+                return
+            if self.backoff:
+                self.state = _COMPUTE
+                self._issue_compute(self.backoff)
+                return
+        self.state = _LOAD
+        self._issue_load(self.addr, acquire=True)
+
+
+#: macro effect class -> batch runner
+BATCH_CLASSES = {
+    fx.ComputeLoad: ComputeLoadBatch,
+    fx.LoadComputeStore: LoadComputeStoreBatch,
+    fx.StoreRun: StoreRunBatch,
+    fx.Repeat: RepeatBatch,
+    fx.SpinUntilGE: SpinBatch,
+}

@@ -15,17 +15,30 @@ This mirrors the paper's machine interface: loads/stores/prefetches
 are single instructions backed by coherence hardware; Send is the
 CMMU's describe/launch sequence; Storeback drives the receive-side
 DMA.
+
+Macro-effects
+-------------
+Hot inner loops (the jacobi halo reads, the memcpy doubleword loop,
+the accum consume loop, barrier spins) spend most of their host time
+resuming the generator once per element. The macro-effects
+(:class:`ComputeLoad`, :class:`LoadComputeStore`, :class:`StoreRun`,
+:class:`Repeat`, :class:`SpinUntilGE`) describe the whole loop in one
+yielded object; the processor's batch runner
+(:mod:`repro.proc.batch`) then drives the per-element micro-operations
+itself — same events, same cycle accounting, same interrupt points,
+one generator resume for the whole loop. All effect classes are
+slotted: effect objects are the highest-churn allocations in a run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.cmmu.message import BlockRef
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute:
     """Occupy the processor for ``cycles`` of local work."""
 
@@ -36,14 +49,14 @@ class Compute:
             raise ValueError(f"negative compute {self.cycles}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Load:
     """Coherent shared-memory read; resumes with the loaded value."""
 
     addr: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Store:
     """Coherent shared-memory write of ``value`` to ``addr``."""
 
@@ -51,7 +64,7 @@ class Store:
     value: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadAcquire(Load):
     """A :class:`Load` annotated with acquire semantics for the
     dynamic checkers (``repro.check``): reading this word may publish
@@ -62,7 +75,7 @@ class LoadAcquire(Load):
     synchronization word itself."""
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreRelease(Store):
     """A :class:`Store` annotated with release semantics for the
     dynamic checkers: writing this word publishes every prior write of
@@ -70,7 +83,7 @@ class StoreRelease(Store):
     set). Timing-identical to a plain Store."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Prefetch:
     """Non-binding read-shared prefetch; resumes after the issue cost
     while the fill proceeds in the background."""
@@ -78,7 +91,7 @@ class Prefetch:
     addr: int
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchOp:
     """Atomic read-modify-write (``new = fn(old)``); resumes with the
     *old* value. Used for test-and-set locks and fetch-and-increment."""
@@ -87,7 +100,7 @@ class FetchOp:
     fn: Callable[[Any], Any]
 
 
-@dataclass
+@dataclass(slots=True)
 class Send:
     """Describe and launch a message (paper §3). Blocking only for the
     describe/launch instruction sequence; delivery is asynchronous."""
@@ -98,7 +111,7 @@ class Send:
     blocks: list[BlockRef] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Storeback:
     """Receive-side DMA scatter of the *current handler's* message
     block data to ``dma_addr``. Only legal inside a message handler."""
@@ -106,14 +119,14 @@ class Storeback:
     dma_addr: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SetIMask:
     """Mask (True) or unmask (False) message interrupts."""
 
     masked: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class Fence:
     """Drain the store buffer (weak ordering's synchronization point).
 
@@ -122,7 +135,7 @@ class Fence:
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class Suspend:
     """Block the current thread off the processor.
 
@@ -136,13 +149,167 @@ class Suspend:
     register: Callable[[Callable[[Any], None]], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class Yield:
     """Politely go to the back of the ready queue (cooperative
     rescheduling point for long-running loops)."""
 
 
+# ----------------------------------------------------------------------
+# Macro-effects: one yield describes a whole hot loop. The processor's
+# batch runner (repro.proc.batch) issues the per-element operations
+# through the same coherence/completion machinery a hand-written loop
+# would use, so simulated timing, interrupt points, stats, and checker
+# observations are identical element for element — only the per-element
+# generator resume, effect allocation, and dispatch lookup disappear.
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ComputeLoad:
+    """Batched ``[Prefetch?] Load [Compute?]`` loop over a strided
+    vector; resumes with the list of loaded values.
+
+    Equivalent micro program::
+
+        per_line = prefetch_line // stride
+        for i in range(count):
+            if per_line and i % per_line == 0 and (i + per_line) < count:
+                yield Prefetch(base + (i + per_line) * stride)
+            v = yield Load(base + i * stride)
+            values.append(v)
+            if compute:
+                yield Compute(compute)
+
+    ``prefetch_line = 0`` disables prefetching; ``compute = 0`` skips
+    the per-element compute charge.
+    """
+
+    base: int
+    count: int
+    stride: int = 8
+    compute: int = 0
+    prefetch_line: int = 0
+
+    def __post_init__(self) -> None:
+        _check_batch(self.count, self.stride, self.compute, self.prefetch_line)
+
+
+@dataclass(slots=True)
+class LoadComputeStore:
+    """Batched strided copy loop: ``Load src, Store dst, Compute``
+    per element, optionally prefetching one ``prefetch_line`` ahead on
+    both streams at line boundaries (the §4.4 copy loops). Resumes
+    with None.
+
+    Equivalent micro program::
+
+        nbytes = count * stride
+        for off in range(0, nbytes, stride):
+            if prefetch_line and off % prefetch_line == 0 \\
+                    and off + prefetch_line < nbytes:
+                yield Prefetch(src + off + prefetch_line)
+                yield Prefetch(dst + off + prefetch_line)
+            v = yield Load(src + off)
+            yield Store(dst + off, v)
+            if compute:
+                yield Compute(compute)
+    """
+
+    src: int
+    dst: int
+    count: int
+    stride: int = 8
+    compute: int = 0
+    prefetch_line: int = 0
+
+    def __post_init__(self) -> None:
+        _check_batch(self.count, self.stride, self.compute, self.prefetch_line)
+
+
+@dataclass(slots=True)
+class StoreRun:
+    """Batched strided store of ``values[i]`` to ``base + i * stride``
+    (an edge/buffer publish loop). Resumes with None."""
+
+    base: int
+    values: Sequence[Any]
+    stride: int = 8
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+
+
+#: effect classes legal inside a :class:`Repeat` body
+_REPEATABLE = (Compute, Load, LoadAcquire, Store, StoreRelease, Prefetch)
+
+
+@dataclass(slots=True)
+class Repeat:
+    """Execute the fixed effect sequence ``body`` ``count`` times
+    (element results are discarded; resumes with None). The general
+    aggregate for hot loops whose body is not one of the specialized
+    shapes above. ``body`` may contain Compute/Load/LoadAcquire/
+    Store/StoreRelease/Prefetch effects only."""
+
+    count: int
+    body: tuple
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"negative repeat count {self.count}")
+        self.body = tuple(self.body)
+        for op in self.body:
+            if not isinstance(op, _REPEATABLE):
+                raise ValueError(
+                    f"Repeat body may not contain {type(op).__name__} "
+                    "(only Compute/Load/LoadAcquire/Store/StoreRelease/Prefetch)"
+                )
+
+
+@dataclass(slots=True)
+class SpinUntilGE:
+    """Batched acquire-spin: LoadAcquire ``addr`` until the value is
+    ``>= threshold``, charging ``backoff`` compute cycles between
+    polls; resumes with the final observed value.
+
+    Equivalent micro program::
+
+        while True:
+            v = yield LoadAcquire(addr)
+            if v >= threshold:
+                return v
+            if backoff:
+                yield Compute(backoff)
+    """
+
+    addr: int
+    threshold: int
+    backoff: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backoff < 0:
+            raise ValueError(f"negative spin backoff {self.backoff}")
+
+
+def _check_batch(count: int, stride: int, compute: int, prefetch_line: int) -> None:
+    if count < 0:
+        raise ValueError(f"negative batch count {count}")
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    if compute < 0:
+        raise ValueError(f"negative compute {compute}")
+    if prefetch_line < 0:
+        raise ValueError(f"negative prefetch_line {prefetch_line}")
+    if prefetch_line and prefetch_line % stride:
+        raise ValueError(
+            f"prefetch_line {prefetch_line} is not a multiple of stride {stride}"
+        )
+
+
+MACRO_EFFECTS = (ComputeLoad, LoadComputeStore, StoreRun, Repeat, SpinUntilGE)
+
 Effect = (
     Compute | Load | Store | LoadAcquire | StoreRelease | Prefetch | FetchOp
     | Send | Storeback | SetIMask | Suspend | Yield | Fence
+    | ComputeLoad | LoadComputeStore | StoreRun | Repeat | SpinUntilGE
 )

@@ -26,6 +26,7 @@ from repro.params import ProcessorParams
 from repro.memory.coherence import AccessKind, CoherenceEngine
 from repro.memory.store import BackingStore
 from repro.proc import effects as fx
+from repro.proc.batch import BATCH_CLASSES as _BATCHES
 from repro.sim.engine import SimulationError, Simulator
 
 _ctx_ids = itertools.count()
@@ -33,9 +34,13 @@ _ctx_ids = itertools.count()
 HandlerFn = Callable[[Message], Generator]
 
 
-@dataclass(eq=False)  # identity semantics (hashable, used in sets)
+@dataclass(eq=False, slots=True)  # identity semantics (hashable, used in sets)
 class Context:
-    """An execution context (thread, handler, or idle-task)."""
+    """An execution context (thread, handler, or idle-task).
+
+    Slotted: a run creates one Context per thread *and one per message
+    handler invocation* — barrier-heavy workloads allocate hundreds of
+    thousands of them."""
 
     gen: Generator
     label: str = ""
@@ -47,6 +52,9 @@ class Context:
     #: a cache miss is outstanding for this context (it may be
     #: switched out late if other work becomes ready meanwhile)
     miss_pending: bool = False
+    #: active macro-effect batch runner (repro.proc.batch), if any:
+    #: completions route to it instead of resuming the generator
+    batch: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "handler" if self.is_handler else "thread"
@@ -268,10 +276,27 @@ class Processor:
         self._step(ctx, value)
 
     def _step(self, ctx: Context, send_value: Any) -> None:
+        # a context mid-macro-batch routes its completion to the batch
+        # runner instead of the generator (one resume per *loop*, not
+        # per element)
+        batch = ctx.batch
+        if batch is not None:
+            batch.step(send_value)
+            return
         try:
             eff = ctx.gen.send(send_value)
         except StopIteration as stop:
             self._finish(ctx, stop.value)
+            return
+        batch_cls = _BATCHES.get(eff.__class__)
+        if batch_cls is not None:
+            # macro-effect: start its batch runner. The envelope object
+            # deliberately bypasses _execute (observers see the
+            # per-element micro stream, not the wrapper) and is not
+            # counted in stats.effects — each element counts itself, so
+            # effect rates stay comparable with unbatched runs.
+            ctx.batch = batch_cls(self, ctx, eff)
+            ctx.batch.step(None)
             return
         self.stats.effects += 1
         self._execute(ctx, eff)

@@ -22,7 +22,14 @@ from typing import Generator
 
 from repro.check import hooks
 from repro.machine.machine import Machine
-from repro.proc.effects import Compute, LoadAcquire, Send, StoreRelease, Suspend
+from repro.proc.effects import (
+    Compute,
+    LoadAcquire,
+    Send,
+    SpinUntilGE,
+    StoreRelease,
+    Suspend,
+)
 from repro.runtime.reliable import ReliableLayer
 
 MSG_BAR_ARRIVE = "bar.arrive"
@@ -39,12 +46,21 @@ class SMTreeBarrier:
     it.
     """
 
-    def __init__(self, machine: Machine, arity: int = 2, spin_backoff: int = 6) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        arity: int = 2,
+        spin_backoff: int = 6,
+        macro: bool = True,
+    ) -> None:
         if arity < 2:
             raise ValueError(f"arity must be >= 2, got {arity}")
         self.machine = machine
         self.arity = arity
         self.spin_backoff = spin_backoff
+        #: batch each flag spin into one SpinUntilGE macro-effect
+        #: (cycle-identical; False keeps the per-probe loop)
+        self.macro = macro
         n = machine.n_nodes
         self.children: list[list[int]] = [
             [c for c in range(arity * p + 1, arity * p + arity + 1) if c < n]
@@ -73,6 +89,9 @@ class SMTreeBarrier:
         return d
 
     def _spin_until(self, addr: int, value: int) -> Generator:
+        if self.macro:
+            yield SpinUntilGE(addr, value, backoff=self.spin_backoff)
+            return
         while True:
             v = yield LoadAcquire(addr)
             if v >= value:

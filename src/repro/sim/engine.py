@@ -11,27 +11,28 @@ which keeps runs fully deterministic.
 Hot-path design
 ---------------
 Millions of events per run make the per-event constant factor the
-simulator's wall-clock bottleneck, so the queue is built from two
-lanes that together fire in exact ``(time, seq)`` order:
+simulator's wall-clock bottleneck, so the queue is a *time-bucketed
+calendar*: a dict mapping each pending cycle to a FIFO deque of
+items, plus a small binary heap holding each distinct pending cycle
+exactly once. Scheduling an event is a dict lookup and a deque
+append; the heap is touched only when a cycle gains its first event.
+Model events cluster heavily on a few near-future cycles (every
+processor's cache-hit completions and spin backoffs land on the same
+handful of latencies), so heap traffic collapses from one push+pop
+per *event* to one per *distinct cycle* — and no ``(time, seq,
+item)`` tuple is allocated at all: append order within a bucket *is*
+the global FIFO order for that cycle, which keeps runs exactly as
+deterministic as the old sequence-numbered heap.
 
-* a binary heap whose entries are plain ``(time, seq, item)`` tuples
-  (tuple comparison short-circuits on the leading ints — no per-event
-  ``__lt__`` method dispatch), and
-* a FIFO "due lane" (deque) taking any event whose time is >= the
-  lane's current tail. Delays in the model are overwhelmingly issued
-  in non-decreasing time order, so most events enter and leave the
-  queue in O(1) without touching the heap at all.
-
-``item`` is either a bare callable (the handle-free
+A bucket item is either a bare callable (the handle-free
 :meth:`Simulator.call_after` fast path — nothing to allocate, nothing
 to cancel) or a ``_Event`` record when the caller needs an
-:class:`EventHandle`. Both lanes share one sequence counter, so the
-merge order is identical to a single heap: host speed changes,
-simulated timing does not.
+:class:`EventHandle`. Host speed changes, simulated timing does not.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
 from typing import Callable
@@ -116,10 +117,16 @@ class Simulator:
     Alewife configuration, i.e. ~30.3 ns per cycle).
     """
 
+    __slots__ = (
+        "_buckets", "_times", "_live", "_daemons",
+        "now", "_running", "events_processed",
+    )
+
     def __init__(self) -> None:
-        self._queue: list[tuple[int, int, object]] = []
-        self._due: deque[tuple[int, int, object]] = deque()
-        self._seq = 0
+        #: cycle -> FIFO of items due that cycle (append order == fire order)
+        self._buckets: dict[int, deque] = {}
+        #: min-heap of the distinct cycles present in ``_buckets``
+        self._times: list[int] = []
         self._live = 0  # not-cancelled, not-yet-fired events (O(1) pending)
         self._daemons = 0  # live daemon (observer) events; never keep a run alive
         self.now: int = 0
@@ -149,14 +156,12 @@ class Simulator:
         """
         when = self._when(delay)
         ev = _Event(when, fn)
-        entry = (when, self._seq, ev)
-        self._seq += 1
         self._live += 1
-        due = self._due
-        if not due or when >= due[-1][0]:
-            due.append(entry)
-        else:
-            heapq.heappush(self._queue, entry)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = deque()
+            heapq.heappush(self._times, when)
+        bucket.append(ev)
         return EventHandle(ev, self)
 
     def call_after(self, delay, fn: Callable[[], None]) -> None:
@@ -164,19 +169,21 @@ class Simulator:
 
         Fires ``fn`` exactly as :meth:`schedule` would (same global
         FIFO ordering for same-cycle events) but allocates no event
-        record and no handle, and — for the overwhelmingly common case
-        of non-decreasing issue times — bypasses the heap entirely via
-        the O(1) due lane.
+        record and no handle — one dict probe and a deque append, with
+        a heap push only when ``now + delay`` is a brand-new cycle.
         """
-        when = self._when(delay)
-        entry = (when, self._seq, fn)
-        self._seq += 1
-        self._live += 1
-        due = self._due
-        if not due or when >= due[-1][0]:
-            due.append(entry)
+        if type(delay) is int:  # inline the _when fast path: this is
+            if delay < 0:      # the hottest scheduling call in the model
+                raise SimulationError(f"negative delay {delay!r}")
+            when = self.now + delay
         else:
-            heapq.heappush(self._queue, entry)
+            when = self._when(delay)
+        self._live += 1
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = deque()
+            heapq.heappush(self._times, when)
+        bucket.append(fn)
 
     def call_daemon(self, delay, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` as a *daemon* (observer) event.
@@ -189,15 +196,13 @@ class Simulator:
         model event. Daemon callbacks must not mutate model state.
         """
         when = self._when(delay)
-        entry = (when, self._seq, _Daemon(self, fn))
-        self._seq += 1
         self._live += 1
         self._daemons += 1
-        due = self._due
-        if not due or when >= due[-1][0]:
-            due.append(entry)
-        else:
-            heapq.heappush(self._queue, entry)
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = deque()
+            heapq.heappush(self._times, when)
+        bucket.append(_Daemon(self, fn))
 
     def schedule_at(self, when: int, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` at absolute cycle ``when`` (>= now)."""
@@ -213,57 +218,61 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < now={self.now}"
             )
-        self.call_after(when - self.now, fn)
+        if when.__class__ is not int:
+            when = self.now + int(-(-(when - self.now) // 1))
+        self._live += 1
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = bucket = deque()
+            heapq.heappush(self._times, when)
+        bucket.append(fn)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _pop_next(self):
-        """Pop the globally next live entry, or None. Skips cancelled."""
-        due = self._due
-        queue = self._queue
-        while True:
-            if due:
-                # seqs are unique, so tuple comparison never reaches
-                # the (uncomparable) third element
-                if queue and queue[0] < due[0]:
-                    entry = heapq.heappop(queue)
-                else:
-                    entry = due.popleft()
-            elif queue:
-                entry = heapq.heappop(queue)
-            else:
-                return None
-            item = entry[2]
-            if item.__class__ is _Event and item.cancelled:
-                continue
-            return entry
+        """Pop the globally next live ``(when, item)``, or None.
+        Skips cancelled events; retires drained time buckets."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            while bucket:
+                item = bucket.popleft()
+                if item.__class__ is _Event and item.cancelled:
+                    continue
+                return t, item
+            # bucket drained with nothing live at t: retire it. A
+            # same-cycle reschedule can only happen *while* an event at
+            # t is running, so nothing can repopulate t after this.
+            heapq.heappop(times)
+            del buckets[t]
+        return None
 
     def _next_time(self):
         """Time of the next live event without popping it, or None."""
-        due = self._due
-        queue = self._queue
-        while due and due[0][2].__class__ is _Event and due[0][2].cancelled:
-            due.popleft()
-        while queue and queue[0][2].__class__ is _Event and queue[0][2].cancelled:
-            heapq.heappop(queue)
-        if due:
-            if queue and queue[0][0] < due[0][0]:
-                return queue[0][0]
-            return due[0][0]
-        if queue:
-            return queue[0][0]
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            while bucket and bucket[0].__class__ is _Event and bucket[0].cancelled:
+                bucket.popleft()
+            if bucket:
+                return t
+            heapq.heappop(times)
+            del buckets[t]
         return None
 
     def step(self) -> bool:
         """Run a single event. Returns False when the queue is empty."""
-        entry = self._pop_next()
-        if entry is None:
+        nxt = self._pop_next()
+        if nxt is None:
             return False
-        when = entry[0]
+        when, item = nxt
         if when < self.now:
             raise SimulationError("event queue time went backwards")
-        item = entry[2]
         self.now = when
         self._live -= 1
         self.events_processed += 1
@@ -308,9 +317,55 @@ class Simulator:
                     while self._live > self._daemons and self.step():
                         pass
                 else:
-                    # unconditioned drain: the tight loop the experiments use
-                    while self.step():
-                        pass
+                    # Unconditioned drain: the tight loop the
+                    # experiments use. Pop/dispatch inlined (no
+                    # step()/_pop_next() call per event), buckets and
+                    # heappop bound to locals, events_processed and
+                    # _live accumulated locally and flushed in
+                    # ``finally`` (nothing can observe them mid-run
+                    # without daemons). Within a bucket, callbacks may
+                    # append to the deque being drained (same-cycle
+                    # chains), and the inner ``while bucket`` picks
+                    # those up in FIFO order. The bucket invariant gives
+                    # non-decreasing times, so the backwards-clock
+                    # check lives only in the conditioned paths.
+                    # The drain allocates heavily (closures, packets,
+                    # events) but nearly everything dies young and is
+                    # freed by refcounting; cyclic-GC passes mid-drain
+                    # are pure overhead. Pause collection for the
+                    # drain, restoring the caller's setting after.
+                    gc_was_enabled = gc.isenabled()
+                    if gc_was_enabled:
+                        gc.disable()
+                    times = self._times
+                    buckets = self._buckets
+                    heappop = heapq.heappop
+                    n = 0
+                    try:
+                        while times:
+                            t = times[0]
+                            bucket = buckets[t]
+                            while bucket:
+                                item = bucket.popleft()
+                                if item.__class__ is _Event:
+                                    # cancelled events never advance now
+                                    if item.cancelled:
+                                        continue
+                                    self.now = t
+                                    n += 1
+                                    item.fired = True
+                                    item.fn()
+                                else:
+                                    self.now = t
+                                    n += 1
+                                    item()
+                            heappop(times)
+                            del buckets[t]
+                    finally:
+                        self._live -= n
+                        self.events_processed += n
+                        if gc_was_enabled:
+                            gc.enable()
             else:
                 while True:
                     if self._live <= self._daemons:
@@ -371,11 +426,12 @@ class Resource:
         """
         if occupancy < 0:
             raise SimulationError(f"negative occupancy {occupancy!r}")
-        start = max(
-            self.busy_until,
-            self.sim.now,
-            self.sim.now if earliest is None else earliest,
-        )
+        start = self.busy_until
+        now = self.sim.now
+        if start < now:
+            start = now
+        if earliest is not None and start < earliest:
+            start = earliest
         self.busy_until = start + occupancy
         self.total_busy += occupancy
         return self.busy_until

@@ -1,0 +1,434 @@
+"""Macro-effect equivalence guards.
+
+The batched effects (``ComputeLoad``, ``LoadComputeStore``,
+``StoreRun``, ``Repeat``, ``SpinUntilGE``) exist purely to cut host
+overhead: one generator resume per *loop* instead of per element. The
+contract is cycle identity — a macro batch and its documented micro
+equivalent must produce the same simulated time, the same values, the
+same stats, the same trace stream, the same profiler attribution, and
+the same checker findings. These tests pin that contract, including a
+hypothesis sweep that forces coherence misses (batch splits) at random
+elements via a concurrent writer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.proc import (
+    Compute,
+    ComputeLoad,
+    Load,
+    LoadAcquire,
+    LoadComputeStore,
+    Prefetch,
+    Repeat,
+    SpinUntilGE,
+    Store,
+    StoreRelease,
+    StoreRun,
+    Suspend,
+)
+
+
+def machine(n=4, **kw):
+    return Machine(MachineConfig(n_nodes=n, **kw))
+
+
+# ----------------------------------------------------------------------
+# Micro equivalents (the documented per-element programs)
+# ----------------------------------------------------------------------
+def micro_compute_load(base, count, stride=8, compute=0, prefetch_line=0):
+    values = []
+    per_line = prefetch_line // stride if prefetch_line else 0
+
+    def gen():
+        for i in range(count):
+            if per_line and i % per_line == 0 and (i + per_line) < count:
+                yield Prefetch(base + (i + per_line) * stride)
+            v = yield Load(base + i * stride)
+            values.append(v)
+            if compute:
+                yield Compute(compute)
+        return values
+
+    return gen()
+
+
+def macro_compute_load(base, count, stride=8, compute=0, prefetch_line=0):
+    def gen():
+        values = yield ComputeLoad(
+            base, count, stride=stride, compute=compute,
+            prefetch_line=prefetch_line,
+        )
+        return values
+
+    return gen()
+
+
+def micro_copy(src, dst, count, stride=8, compute=0, prefetch_line=0):
+    def gen():
+        nbytes = count * stride
+        for off in range(0, nbytes, stride):
+            if prefetch_line and off % prefetch_line == 0 \
+                    and off + prefetch_line < nbytes:
+                yield Prefetch(src + off + prefetch_line)
+                yield Prefetch(dst + off + prefetch_line)
+            v = yield Load(src + off)
+            yield Store(dst + off, v)
+            if compute:
+                yield Compute(compute)
+
+    return gen()
+
+
+def macro_copy(src, dst, count, stride=8, compute=0, prefetch_line=0):
+    def gen():
+        yield LoadComputeStore(
+            src, dst, count, stride=stride, compute=compute,
+            prefetch_line=prefetch_line,
+        )
+
+    return gen()
+
+
+def micro_spin(addr, threshold, backoff=0):
+    def gen():
+        while True:
+            v = yield LoadAcquire(addr)
+            if v >= threshold:
+                return v
+            if backoff:
+                yield Compute(backoff)
+
+    return gen()
+
+
+def macro_spin(addr, threshold, backoff=0):
+    def gen():
+        v = yield SpinUntilGE(addr, threshold, backoff=backoff)
+        return v
+
+    return gen()
+
+
+def run_pair(build_threads, n=4, observe=None):
+    """Run ``build_threads(machine, variant)`` for both variants and
+    return the two (machine, results, extras) triples.
+
+    ``observe`` (optional) is called with the machine before the run and
+    its return value lands in extras (tracer/profiler/checker handles).
+    """
+    out = []
+    for variant in ("micro", "macro"):
+        m = machine(n=n)
+        extra = observe(m) if observe is not None else None
+        results = build_threads(m, variant)
+        m.run()
+        out.append((m, results, extra))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Golden identity per macro effect
+# ----------------------------------------------------------------------
+class TestMacroMicroIdentity:
+    def test_compute_load_identical(self):
+        count, stride = 24, 64  # strided: every element misses
+
+        def build(m, variant):
+            base = m.alloc(1, count * stride)
+            for i in range(count):
+                m.store.write(base + i * stride, i * 3)
+            fn = micro_compute_load if variant == "micro" else macro_compute_load
+            out = []
+            m.processor(0).run_thread(
+                fn(base, count, stride=stride, compute=2),
+                on_finish=out.append, label="reader",
+            )
+            return out
+
+        (m1, r1, _), (m2, r2, _) = run_pair(build)
+        assert m1.sim.now == m2.sim.now
+        assert r1 == r2 == [[i * 3 for i in range(count)]]
+        c1, c2 = m1.coherence.caches[0].stats, m2.coherence.caches[0].stats
+        assert (c1.hits, c1.misses, c1.upgrades) == (c2.hits, c2.misses, c2.upgrades)
+        assert m1.processor(0).stats.effects == m2.processor(0).stats.effects
+
+    def test_compute_load_with_prefetch_identical(self):
+        count, stride, line = 16, 8, 64
+
+        def build(m, variant):
+            base = m.alloc(1, count * stride)
+            fn = micro_compute_load if variant == "micro" else macro_compute_load
+            out = []
+            m.processor(0).run_thread(
+                fn(base, count, stride=stride, compute=1, prefetch_line=line),
+                on_finish=out.append,
+            )
+            return out
+
+        (m1, r1, _), (m2, r2, _) = run_pair(build)
+        assert m1.sim.now == m2.sim.now
+        assert r1 == r2
+        s1, s2 = m1.coherence.stats, m2.coherence.stats
+        assert s1.prefetches_issued == s2.prefetches_issued > 0
+
+    def test_copy_identical(self):
+        count, stride = 32, 8
+
+        def build(m, variant):
+            src = m.alloc(1, count * stride)
+            dst = m.alloc(2, count * stride)
+            for i in range(count):
+                m.store.write(src + i * stride, 100 + i)
+            fn = micro_copy if variant == "micro" else macro_copy
+            m.processor(0).run_thread(
+                fn(src, dst, count, stride=stride, prefetch_line=64)
+            )
+            return [m.store.read(dst + i * stride) for i in range(count)], dst
+
+        (m1, (pre1, dst1), _), (m2, (pre2, dst2), _) = run_pair(build)
+        assert m1.sim.now == m2.sim.now
+        got1 = [m1.store.read(dst1 + i * stride) for i in range(count)]
+        got2 = [m2.store.read(dst2 + i * stride) for i in range(count)]
+        assert got1 == got2 == [100 + i for i in range(count)]
+
+    def test_store_run_identical(self):
+        vals = [7, 11, 13, 17, 19]
+
+        def build(m, variant):
+            base = m.alloc(1, len(vals) * 8)
+            if variant == "micro":
+                def gen():
+                    for i, v in enumerate(vals):
+                        yield Store(base + i * 8, v)
+            else:
+                def gen():
+                    yield StoreRun(base, vals)
+            m.processor(0).run_thread(gen())
+            return base
+
+        (m1, b1, _), (m2, b2, _) = run_pair(build)
+        assert m1.sim.now == m2.sim.now
+        assert [m1.store.read(b1 + i * 8) for i in range(len(vals))] == vals
+        assert [m2.store.read(b2 + i * 8) for i in range(len(vals))] == vals
+
+    def test_repeat_identical(self):
+        reps = 10
+
+        def build(m, variant):
+            a = m.alloc(1, 8)
+            b = m.alloc(0, 8)
+            body = (Compute(3), Load(a), Store(b, 1), Compute(1))
+            if variant == "micro":
+                def gen():
+                    for _ in range(reps):
+                        yield Compute(3)
+                        yield Load(a)
+                        yield Store(b, 1)
+                        yield Compute(1)
+            else:
+                def gen():
+                    yield Repeat(reps, body)
+            m.processor(0).run_thread(gen())
+            return None
+
+        (m1, _, _), (m2, _, _) = run_pair(build)
+        assert m1.sim.now == m2.sim.now
+        assert m1.processor(0).stats.effects == m2.processor(0).stats.effects
+
+    def test_spin_identical(self):
+        def build(m, variant):
+            flag = m.alloc(1, 8)
+            fn = micro_spin if variant == "micro" else macro_spin
+            out = []
+            m.processor(0).run_thread(
+                fn(flag, 1, backoff=6), on_finish=out.append, label="spinner"
+            )
+
+            def releaser():
+                yield Compute(400)
+                yield StoreRelease(flag, 1)
+
+            m.processor(1).run_thread(releaser(), label="releaser")
+            return out
+
+        (m1, r1, _), (m2, r2, _) = run_pair(build)
+        assert m1.sim.now == m2.sim.now
+        assert r1 == r2 == [1]
+        assert m1.processor(0).stats.effects == m2.processor(0).stats.effects
+
+
+# ----------------------------------------------------------------------
+# Observer identity: the batch runner must be invisible to tracer,
+# profiler, and checkers — they see the per-element micro stream.
+# ----------------------------------------------------------------------
+class TestObserverIdentity:
+    def _racy_build(self, m, variant):
+        # unsynchronized concurrent writer: forces invalidations that
+        # split the batch at arbitrary elements AND races with it
+        count, stride = 16, 8
+        base = m.alloc(1, count * stride)
+        fn = micro_compute_load if variant == "micro" else macro_compute_load
+        m.processor(0).run_thread(
+            fn(base, count, stride=stride, compute=2), label="reader"
+        )
+
+        def writer():
+            for i in range(0, count, 4):
+                yield Compute(50)
+                yield Store(base + i * stride, 999)
+
+        m.processor(1).run_thread(writer(), label="writer")
+        return base
+
+    def test_trace_stream_identical(self):
+        from repro.trace.tracer import Tracer
+
+        def observe(m):
+            return Tracer(m, kinds=("effect", "txn", "packet"))
+
+        (m1, _, t1), (m2, _, t2) = run_pair(self._racy_build, observe=observe)
+        ev1 = [(e.time, e.node, e.kind, e.what, e.detail) for e in t1.events]
+        ev2 = [(e.time, e.node, e.kind, e.what, e.detail) for e in t2.events]
+        assert ev1 == ev2
+        # the macro wrapper itself must NOT appear as an effect
+        assert not any("ComputeLoad" in e.what for e in t2.events)
+        assert any(e.what == "Load" for e in t2.events)
+
+    def test_profiler_buckets_identical(self):
+        from repro.obs.profiler import CycleProfiler
+
+        (m1, _, p1), (m2, _, p2) = run_pair(
+            self._racy_build, observe=CycleProfiler
+        )
+        assert p1.per_node() == p2.per_node()
+        assert p1.totals() == p2.totals()
+
+    def test_race_detector_equivalent(self):
+        from repro.check import CheckerSet
+
+        def observe(m):
+            return CheckerSet(m, checks=("race",))
+
+        (m1, _, c1), (m2, _, c2) = run_pair(self._racy_build, observe=observe)
+        f1 = {(f.kind, f.addr) for f in c1.finalize().findings}
+        f2 = {(f.kind, f.addr) for f in c2.finalize().findings}
+        assert f1 == f2
+        assert f2  # the program really does race
+
+
+# ----------------------------------------------------------------------
+# stats.effects counts elements, not batches
+# ----------------------------------------------------------------------
+class TestEffectAccounting:
+    def test_effects_counts_elements(self):
+        count = 12
+        m = machine()
+        base = m.alloc(1, count * 8)
+        m.processor(0).run_thread(macro_compute_load(base, count, compute=2))
+        m.run()
+        # count loads + count computes, regardless of batching
+        assert m.processor(0).stats.effects == 2 * count
+
+    def test_zero_count_batch_is_free(self):
+        m = machine()
+        base = m.alloc(1, 64)
+        out = []
+        m.processor(0).run_thread(
+            macro_compute_load(base, 0), on_finish=out.append
+        )
+        m.run()
+        assert out == [[]]
+        assert m.processor(0).stats.effects == 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random batch shapes with a concurrent writer forcing
+# miss splits at arbitrary elements — macro == micro, always.
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    count=st.integers(min_value=0, max_value=12),
+    stride=st.sampled_from([8, 16, 64]),
+    compute=st.integers(min_value=0, max_value=4),
+    writer_step=st.integers(min_value=1, max_value=5),
+    writer_delay=st.integers(min_value=0, max_value=120),
+)
+def test_random_batches_with_invalidating_writer(
+    count, stride, compute, writer_step, writer_delay
+):
+    results = []
+    for variant in ("micro", "macro"):
+        m = machine()
+        base = m.alloc(1, max(count, 1) * stride)
+        for i in range(count):
+            m.store.write(base + i * stride, i + 1)
+        fn = micro_compute_load if variant == "micro" else macro_compute_load
+        out = []
+        m.processor(0).run_thread(
+            fn(base, count, stride=stride, compute=compute),
+            on_finish=out.append, label="reader",
+        )
+
+        def writer():
+            if writer_delay:
+                yield Compute(writer_delay)
+            for i in range(0, count, writer_step):
+                yield Store(base + i * stride, 1000 + i)
+                yield Compute(7)
+
+        m.processor(1).run_thread(writer(), label="writer")
+        m.run()
+        c = m.coherence.caches[0].stats
+        results.append(
+            (m.sim.now, out, c.hits, c.misses, c.upgrades,
+             m.processor(0).stats.effects)
+        )
+    assert results[0] == results[1]
+
+
+# ----------------------------------------------------------------------
+# Validation and semantics
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative batch count"):
+            ComputeLoad(0, -1)
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError, match="stride must be positive"):
+            LoadComputeStore(0, 64, 4, stride=0)
+
+    def test_misaligned_prefetch_line_rejected(self):
+        with pytest.raises(ValueError, match="not a multiple of stride"):
+            ComputeLoad(0, 4, stride=24, prefetch_line=64)
+
+    def test_store_run_stride_rejected(self):
+        with pytest.raises(ValueError, match="stride must be positive"):
+            StoreRun(0, [1], stride=0)
+
+    def test_repeat_rejects_non_repeatable_body(self):
+        with pytest.raises(ValueError, match="Repeat body may not contain"):
+            Repeat(3, (Compute(1), Suspend(register=0)))
+
+    def test_repeat_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="negative repeat count"):
+            Repeat(-1, (Compute(1),))
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="negative spin backoff"):
+            SpinUntilGE(0, 1, backoff=-1)
+
+    def test_spin_resumes_with_observed_value(self):
+        m = machine()
+        flag = m.alloc(1, 8)
+        m.store.write(flag, 5)  # already past threshold
+        out = []
+        m.processor(0).run_thread(macro_spin(flag, 3), on_finish=out.append)
+        m.run()
+        assert out == [5]
