@@ -10,6 +10,8 @@ Usage::
     alewife-repro serve --port 8787 --store .repro_store
     alewife-repro submit fig8 --quick --wait --fetch-to out/
     alewife-repro status JOB_ID
+    alewife-repro serve tail JOB_ID
+    alewife-repro serve tail --all
     alewife-repro fetch JOB_ID run.json --out run.json
 
 The last form is a convenience: an experiment id (``fig8``) or its
@@ -338,12 +340,18 @@ def _build_spec(args: argparse.Namespace) -> dict:
 
 def _job_line(job: dict) -> str:
     wall = ""
-    if job.get("started") and job.get("finished"):
+    if job.get("run_seconds") is not None:
+        wall = f" wall={job['run_seconds']:.2f}s"
+    elif job.get("started") and job.get("finished"):
         wall = f" wall={job['finished'] - job['started']:.2f}s"
+    progress = job.get("progress") or {}
+    prog = ""
+    if progress.get("total"):
+        prog = f" progress={progress.get('done', 0)}/{progress['total']}"
     return (
         f"job {job['id']} state={job['state']} "
         f"dedup={str(job['dedup']).lower()} priority={job['priority']}"
-        f"{wall} key={job['key'][:16]}…"
+        f"{prog}{wall} key={job['key'][:16]}…"
     )
 
 
@@ -393,6 +401,79 @@ def cmd_status(args: argparse.Namespace) -> int:
     except (ServeError, OSError) as exc:
         raise SystemExit(f"status failed: {exc}")
     return 0
+
+
+def _event_line(event: dict) -> str:
+    """One terminal line per SSE event."""
+    etype = event.get("event", "message")
+    if etype == "snapshot":
+        job = event.get("job") or {}
+        pos = event.get("queue_position")
+        line = f"snapshot job={job.get('id')} state={job.get('state')}"
+        if pos:
+            line += f" queue_position={pos}"
+        progress = job.get("progress")
+        if progress:
+            line += f" progress={progress.get('done')}/{progress.get('total')}"
+        return line
+    if etype == "progress":
+        line = f"progress {event.get('done')}/{event.get('total')}"
+        if event.get("point"):
+            line += f" point={event['point']}"
+        if event.get("cache_hits"):
+            line += f" cache_hits={event['cache_hits']}"
+        return line
+    if etype == "heartbeat":
+        pos = event.get("queue_position")
+        return f"heartbeat{f' queue_position={pos}' if pos else ''}"
+    parts = [etype]
+    for key in ("job", "priority", "dedup", "error"):
+        value = event.get(key)
+        if value not in (None, False, ""):
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Follow one job's SSE event stream (or, with ``--all``, poll
+    every job and print each state/progress change)."""
+    from repro.serve.client import (
+        TERMINAL_STATES,
+        ServeClient,
+        ServeError,
+    )
+
+    if bool(args.job_id) == bool(args.all):
+        raise SystemExit("tail: give a JOB_ID or --all (not both)")
+    client = ServeClient(args.server)
+    try:
+        if args.job_id:
+            state = None
+            for event in client.events(args.job_id, timeout=args.timeout):
+                print(_event_line(event), flush=True)
+                if event.get("event") == "snapshot":
+                    state = (event.get("job") or {}).get("state")
+                elif event.get("event") in TERMINAL_STATES:
+                    state = event["event"]
+            return 1 if state == "failed" else 0
+        seen: dict[str, tuple] = {}
+        while True:
+            jobs = client.jobs()
+            for job in jobs:
+                progress = job.get("progress") or {}
+                mark = (job["state"], progress.get("done"))
+                if seen.get(job["id"]) != mark:
+                    seen[job["id"]] = mark
+                    print(_job_line(job), flush=True)
+            if jobs and all(
+                j["state"] in TERMINAL_STATES for j in jobs
+            ):
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"tail failed: {exc}")
 
 
 def cmd_fetch(args: argparse.Namespace) -> int:
@@ -517,6 +598,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     servep.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
+    servep.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="daemon log level (default: info; --verbose implies debug)",
+    )
+    servep.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured daemon logs here instead of stderr",
+    )
+    servep.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="job journal location (default: <store>/journal.jsonl); "
+        "queued jobs are replayed from it on startup",
+    )
 
     client_common = argparse.ArgumentParser(add_help=False)
     client_common.add_argument(
@@ -551,6 +646,19 @@ def main(argv: list[str] | None = None) -> int:
                            help="service health and job states")
     statp.add_argument("job_id", nargs="?", default=None)
 
+    tailp = sub.add_parser(
+        "tail", parents=[client_common],
+        help="follow a job's live event stream (also reachable as "
+        "'serve tail'); --all polls every job for state changes",
+    )
+    tailp.add_argument("job_id", nargs="?", default=None)
+    tailp.add_argument("--all", action="store_true",
+                       help="follow every job until all are terminal")
+    tailp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="stop following a single job after SEC seconds")
+    tailp.add_argument("--poll", type=float, default=1.0, metavar="SEC",
+                       help="poll interval for --all (default: 1.0)")
+
     fetchp = sub.add_parser("fetch", parents=[client_common],
                             help="download one artifact of a finished job")
     fetchp.add_argument("job_id")
@@ -567,6 +675,9 @@ def main(argv: list[str] | None = None) -> int:
     # basename in subcommand position implies 'run'
     if argv and argv[0] in _experiment_aliases():
         argv = ["run", _experiment_aliases()[argv[0]], *argv[1:]]
+    # 'serve tail ...' is the documented spelling of 'tail ...'
+    if argv[:2] == ["serve", "tail"]:
+        argv = ["tail", *argv[2:]]
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -586,12 +697,16 @@ def main(argv: list[str] | None = None) -> int:
             host=args.host, port=args.port, store_dir=args.store,
             cache_dir=args.cache_dir, no_cache=args.no_cache,
             workers=args.workers, jobs=args.jobs, verbose=args.verbose,
+            log_level=args.log_level, log_file=args.log_file,
+            journal_path=args.journal,
         )
 
     if args.cmd == "submit":
         return cmd_submit(args)
     if args.cmd == "status":
         return cmd_status(args)
+    if args.cmd == "tail":
+        return cmd_tail(args)
     if args.cmd == "fetch":
         return cmd_fetch(args)
 

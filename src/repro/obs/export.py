@@ -130,9 +130,62 @@ def events_to_chrome(
     return out
 
 
-def build_perfetto(records: list[dict]) -> dict:
+#: pid of the host-side track (far above any machine index)
+HOST_PID = 1_000_000
+
+
+def host_span_events(
+    spans: list[dict],
+    pid: int = HOST_PID,
+    process_name: str = "host: repro-serve",
+    trace_id: str | None = None,
+) -> list[dict]:
+    """Host-side (wall-clock) duration spans as Chrome trace events.
+
+    Each span dict carries ``name``, ``tid``, ``ts0``/``ts1`` (already
+    in the track's microsecond timeline) and optional ``args``. The
+    ``trace_id`` is stamped into every event's args — the correlation
+    key shared with the journal and the job status JSON.
+    """
+    tid_names = {0: "daemon", 1: "executor", 2: "sweep points"}
+    out: list[dict] = [{
+        "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+        "name": "process_name",
+        "args": {"name": process_name + (f" trace={trace_id}" if trace_id else "")},
+    }]
+    for tid in sorted({s["tid"] for s in spans}):
+        out.append({
+            "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+            "name": "thread_name",
+            "args": {"name": tid_names.get(tid, f"host {tid}")},
+        })
+    for span in spans:
+        args = dict(span.get("args") or {})
+        if trace_id:
+            args["trace_id"] = trace_id
+        common = {
+            "pid": pid, "tid": span["tid"], "name": span["name"],
+            "cat": "host", "args": args,
+        }
+        out.append({"ph": "B", "ts": span["ts0"], **common})
+        out.append({"ph": "E", "ts": span["ts1"], **common})
+    return out
+
+
+def build_perfetto(
+    records: list[dict],
+    host_events: list[dict] | None = None,
+    trace_id: str | None = None,
+) -> dict:
     """The session records' traces as one Perfetto-loadable document
-    (pid = machine index), ready for ``json.dump``."""
+    (pid = machine index), ready for ``json.dump``.
+
+    ``host_events`` (already Chrome-format, e.g. from
+    :func:`host_span_events`) are appended on their own process track,
+    so service-side wall-clock spans and sim-side cycle spans load as
+    one correlated trace; ``trace_id`` is recorded at the document
+    top level as the cross-layer correlation key.
+    """
     trace_events: list[dict] = []
     for pid, rec in enumerate(records):
         if "trace" not in rec:
@@ -142,7 +195,11 @@ def build_perfetto(records: list[dict]) -> dict:
                 rec["trace"], pid=pid, process_name=rec.get("label", f"m{pid}")
             )
         )
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    trace_events.extend(host_events or [])
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if trace_id:
+        doc["trace_id"] = trace_id
+    return doc
 
 
 def export_perfetto(records: list[dict], path: str) -> int:

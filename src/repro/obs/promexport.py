@@ -1,0 +1,166 @@
+"""Prometheus text-exposition rendering of a MetricsSnapshot.
+
+One renderer covers both observability surfaces: the service daemon's
+``GET /metrics`` endpoint (orchestrator, store, and run-cache series)
+and any saved ``run.json`` manifest (``python -m repro.obs.promexport
+run.json`` renders the simulator's own metrics snapshot), so a
+Prometheus scraper and the simulation's machine metrics speak the
+same format.
+
+Mapping (Prometheus exposition format version 0.0.4):
+
+* metric names: dots become underscores, every other illegal
+  character becomes ``_`` (``serve.queue_depth`` →
+  ``serve_queue_depth``);
+* labels: values escaped per the exposition spec (backslash, double
+  quote, newline);
+* counters/gauges: one sample per row, ``# TYPE`` emitted once per
+  metric name;
+* histograms: cumulative ``_bucket`` rows with an ``le`` label (the
+  final bucket is ``le="+Inf"``), plus ``_sum`` and ``_count`` —
+  exactly the shape ``histogram_quantile()`` expects.
+
+Rendering is pure (snapshot in, text out): the HTTP layer decides
+when to collect, this module only formats.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def metric_name(name: str) -> str:
+    """A snapshot row name as a legal Prometheus metric name."""
+    out = _NAME_ILLEGAL.sub("_", name.replace(".", "_"))
+    if _LEADING_DIGIT.match(out):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape one label value per the exposition format: backslash,
+    double quote, and newline."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _labels(labels: dict[str, Any], extra: dict[str, Any] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{metric_name(str(k))}="{escape_label_value(v)}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _bound_label(bound: float) -> str:
+    """An ``le`` bound rendered the way Prometheus expects (integral
+    bounds without a trailing .0)."""
+    if isinstance(bound, (int, float)) and float(bound) == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def render_prometheus(snapshot: Any) -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsSnapshot` (or its
+    ``as_dict()`` form) as Prometheus exposition text."""
+    rows = snapshot["rows"] if isinstance(snapshot, dict) else snapshot.rows
+    lines: list[str] = []
+    typed: dict[str, str] = {}
+
+    def declare(name: str, kind: str) -> None:
+        seen = typed.get(name)
+        if seen is None:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        elif seen != kind:
+            raise ValueError(
+                f"metric {name!r} rendered as both {seen} and {kind}"
+            )
+
+    for row in rows:
+        name = metric_name(row["name"])
+        kind = row["kind"]
+        labels = row.get("labels") or {}
+        value = row["value"]
+        if kind in ("counter", "gauge"):
+            declare(name, kind)
+            lines.append(f"{name}{_labels(labels)} {_format_value(value)}")
+        elif kind == "histogram":
+            declare(name, "histogram")
+            bounds = value["bounds"]
+            counts = value["counts"]
+            cumulative = 0
+            for bound, count in zip(bounds, counts):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels(labels, {'le': _bound_label(bound)})}"
+                    f" {cumulative}"
+                )
+            cumulative += counts[len(bounds)] if len(counts) > len(bounds) else 0
+            lines.append(
+                f"{name}_bucket{_labels(labels, {'le': '+Inf'})} {cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_labels(labels)} {_format_value(value['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_labels(labels)} {value['count']}"
+            )
+        else:
+            raise ValueError(f"unknown instrument kind {kind!r} for {name}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.promexport run.json`` — render the
+    metrics snapshot inside a run manifest as exposition text."""
+    import json
+    import sys
+
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.obs.promexport RUN_JSON",
+            file=sys.stderr,
+        )
+        return 2
+    with open(argv[0]) as fh:
+        manifest = json.load(fh)
+    metrics = manifest.get("metrics") if "metrics" in manifest else manifest
+    if not metrics or "rows" not in metrics:
+        print(f"{argv[0]}: no metrics snapshot found", file=sys.stderr)
+        return 1
+    sys.stdout.write(render_prometheus(metrics))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

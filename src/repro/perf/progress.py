@@ -1,0 +1,60 @@
+"""Thread-local sweep progress reporting.
+
+A *progress callback* is a host-side observer of sweep execution: the
+:class:`~repro.perf.sweep.SweepRunner` calls it (in the parent
+process, as results land) with plain-dict events, so a service layer
+can stream per-point completion without the experiment drivers
+knowing anything about it. It follows the same thread-local
+activation pattern as the run cache and the observation session, so
+concurrent ``repro.serve`` job workers each observe only their own
+sweeps::
+
+    with progress.activate(on_event):
+        fn(**kwargs)          # every sweep inside reports to on_event
+
+Events (all host-side; simulated time never sees them):
+
+* ``{"event": "sweep_start", "points": N, "cached": H}`` — a sweep of
+  ``N`` points begins; ``H`` of them were answered by the run cache.
+* ``{"event": "point", "index": i, "label": "mod:fn[i]",
+  "cached": bool}`` — point ``i`` finished (replayed or executed).
+
+Callbacks run on the sweep's parent thread. An exception raised by
+the callback propagates out of ``SweepRunner.map`` — which is exactly
+how the service's cooperative cancellation interrupts a job *between
+sweep points* instead of only between phases.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+ProgressCallback = Callable[[dict[str, Any]], None]
+
+_TLS = threading.local()
+
+
+def current() -> ProgressCallback | None:
+    """The calling thread's active progress callback, if any."""
+    return getattr(_TLS, "callback", None)
+
+
+@contextmanager
+def activate(callback: ProgressCallback | None) -> Iterator[None]:
+    """Install ``callback`` as the calling thread's progress observer
+    for the duration of the block (None deactivates)."""
+    prev = getattr(_TLS, "callback", None)
+    _TLS.callback = callback
+    try:
+        yield
+    finally:
+        _TLS.callback = prev
+
+
+def point_label(point: Any, index: int) -> str:
+    """A human-readable label for one sweep point: the callable's
+    name plus the point's position in the sweep."""
+    fn = getattr(point, "fn", "")
+    return f"{str(fn).partition(':')[2] or fn}[{index}]"

@@ -190,23 +190,51 @@ class SweepRunner:
         points = list(points)
         from repro.obs.session import current as obs_current
         from repro.perf.cache import current as cache_current
+        from repro.perf.progress import current as progress_current
 
         cache = cache_current()
         sess = obs_current()
+        notify = progress_current()
         if cache is not None:
-            return self._map_cached(points, cache, sess)
-        return self._map_plain(points, sess)
+            return self._map_cached(points, cache, sess, notify)
+        return self._map_plain(points, sess, notify)
+
+    @staticmethod
+    def _point_done(notify: Any, point: SweepPoint, i: int,
+                    cached: bool = False) -> None:
+        """Report one finished point to the active progress callback
+        (host-side only; a raised exception aborts the sweep — the
+        service's between-points cancellation hook)."""
+        if notify is not None:
+            from repro.perf.progress import point_label
+
+            notify({
+                "event": "point", "index": i,
+                "label": point_label(point, i), "cached": cached,
+            })
 
     # -- no cache: the reference parallel path -------------------------
-    def _map_plain(self, points: list[SweepPoint], sess: Any) -> list[Any]:
+    def _map_plain(
+        self, points: list[SweepPoint], sess: Any, notify: Any = None
+    ) -> list[Any]:
+        if notify is not None:
+            notify({"event": "sweep_start", "points": len(points), "cached": 0})
         if not self._fan_out(len(points)):
             # in-process: an active observation session sees each
             # machine directly through make_machine
-            return [run_point(p) for p in points]
+            results = []
+            for i, p in enumerate(points):
+                results.append(run_point(p))
+                self._point_done(notify, p, i)
+            return results
         pool = _get_pool(self.jobs)
         cs = _chunksize(len(points), min(self.jobs, len(points)))
         if sess is None:
-            return list(pool.imap(run_point, points, cs))
+            results = []
+            for i, result in enumerate(pool.imap(run_point, points, cs)):
+                results.append(result)
+                self._point_done(notify, points[i], i)
+            return results
         # observed parallel run: each worker opens its own session and
         # ships plain observation data back with its result; absorbing
         # in input order keeps the merge deterministic at any job count
@@ -218,11 +246,13 @@ class SweepRunner:
         ):
             results.append(result)
             sess.absorb(data)
+            self._point_done(notify, points[len(results) - 1], len(results) - 1)
         return results
 
     # -- incremental path: replay hits, run misses cost-first ----------
     def _map_cached(
-        self, points: list[SweepPoint], cache: Any, sess: Any
+        self, points: list[SweepPoint], cache: Any, sess: Any,
+        notify: Any = None,
     ) -> list[Any]:
         from repro.perf.cache import code_fingerprint
 
@@ -252,10 +282,19 @@ class SweepRunner:
             else:
                 misses.append(i)
 
+        if notify is not None:
+            notify({
+                "event": "sweep_start", "points": n,
+                "cached": n - len(misses),
+            })
+            missing = set(misses)
+            for i, point in enumerate(points):
+                if i not in missing:
+                    self._point_done(notify, point, i, cached=True)
         if misses:
             self._run_misses(
                 points, misses, keys, cache, obs_cfg, obs_key,
-                fingerprint_of, results, payloads,
+                fingerprint_of, results, payloads, notify,
             )
         if obs_cfg is not None:
             # merge observation payloads (cached and fresh alike) in
@@ -278,6 +317,7 @@ class SweepRunner:
         fingerprint_of: Callable[[SweepPoint], str],
         results: list[Any],
         payloads: list[dict | None],
+        notify: Any = None,
     ) -> None:
         def put(i: int, result: Any, data: dict | None, cost: float) -> None:
             results[i] = result
@@ -287,6 +327,9 @@ class SweepRunner:
                 keys[i], points[i], fingerprint_of(points[i]), obs_key,
                 result, data, cost,
             )
+            # after the cache write: a callback-raised abort (the
+            # service's cancellation path) never loses finished work
+            self._point_done(notify, points[i], i)
 
         if self._fan_out(len(misses)):
             # longest-recorded-cost-first shrinks the parallel critical

@@ -9,10 +9,12 @@ drive the routes directly.
 Routes::
 
     GET  /healthz                      liveness + version + fingerprint
-    GET  /v1/metrics                   serve.* metrics snapshot
+    GET  /metrics                      Prometheus text exposition
+    GET  /v1/metrics                   serve.* metrics snapshot (JSON)
     GET  /v1/jobs                      all jobs (newest last)
     POST /v1/jobs                      submit {"spec": {...}, "priority": N}
     GET  /v1/jobs/<id>                 one job
+    GET  /v1/jobs/<id>/events          SSE live lifecycle/progress stream
     POST /v1/jobs/<id>/cancel          cancel (idempotent)
     GET  /v1/jobs/<id>/artifacts       artifact names of a done job
     GET  /v1/jobs/<id>/artifacts/<n>   raw artifact bytes
@@ -20,32 +22,45 @@ Routes::
 The ``serve.*`` metrics ride the same
 :class:`~repro.obs.metrics.MetricsRegistry` machinery the simulator
 uses — queue depth, jobs by state, submission/dedup counters, the
-dedup hit ratio, and the shared run cache's counters — so one
-snapshot format covers machine and service observability alike.
+dedup hit ratio, queue/run latency histograms, store size, and the
+shared run cache's counters — registered once
+(:meth:`_registry`) and rendered two ways: the JSON snapshot at
+``/v1/metrics`` and Prometheus exposition text at ``/metrics``.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Any
+from typing import Any, Iterator
 
 from repro import __version__
-from repro.serve.orchestrator import STATES, JobOrchestrator, OrchestratorClosed
+from repro.serve.orchestrator import (  # noqa: F401 (STATES re-export)
+    STATES,
+    JobOrchestrator,
+    OrchestratorClosed,
+)
 from repro.serve.store import ARTIFACT_TYPES, RunStore
 
 JSON_TYPE = "application/json"
+SSE_TYPE = "text/event-stream; charset=utf-8"
 
 
 class Response:
-    """One HTTP response: status, body bytes, content type."""
+    """One HTTP response: status, body bytes, content type — or, when
+    ``stream`` is set, an iterator of body chunks the server sends
+    with chunked transfer encoding (the SSE endpoint)."""
 
     def __init__(
-        self, status: int, body: Any, content_type: str = JSON_TYPE
+        self, status: int, body: Any, content_type: str = JSON_TYPE,
+        stream: Iterator[bytes] | None = None,
     ) -> None:
         self.status = status
         self.content_type = content_type
-        if isinstance(body, bytes):
+        self.stream = stream
+        if stream is not None:
+            self.body = b""
+        elif isinstance(body, bytes):
             self.body = body
         else:
             self.body = json.dumps(body, indent=1, default=str).encode() + b"\n"
@@ -85,24 +100,53 @@ class ServeApp:
             "counters": dict(self.orchestrator.counters),
         })
 
-    def metrics(self) -> Response:
+    def _registry(self):
+        """The service metrics registry: orchestrator instruments
+        (queue depth, jobs by state, counters, dedup hit ratio,
+        latency histograms), store gauges, and run-cache counters —
+        built fresh per scrape so every read is current."""
         from repro.obs.metrics import MetricsRegistry
 
-        orch = self.orchestrator
         reg = MetricsRegistry()
-        reg.gauge("serve.queue_depth", orch.queue_depth)
-        counts = orch.jobs_by_state()
-        for state in STATES:
-            reg.gauge("serve.jobs", lambda s=state: counts[s], state=state)
-        for name, value in orch.counters.items():
-            reg.counter(f"serve.{name}", lambda v=value: v)
-        reg.gauge("serve.dedup_hit_ratio", orch.dedup_hit_ratio)
+        self.orchestrator.register_metrics(reg)
         reg.gauge("serve.store_runs", self.store.count)
-        cache = getattr(orch.executor, "cache", None)
+        reg.gauge("serve.store_bytes", self.store.total_bytes)
+        cache = getattr(self.orchestrator.executor, "cache", None)
         if cache is not None:
-            for field, value in cache.stats.snapshot().items():
-                reg.counter(f"serve.cache.{field}", lambda v=value: v)
-        return Response(200, reg.collect().as_dict())
+            for field in cache.stats.snapshot():
+                reg.counter(
+                    f"serve.cache.{field}",
+                    lambda f=field, c=cache: c.stats.snapshot()[f],
+                )
+        return reg
+
+    def metrics(self) -> Response:
+        return Response(200, self._registry().collect().as_dict())
+
+    def metrics_prometheus(self) -> Response:
+        from repro.obs.promexport import CONTENT_TYPE, render_prometheus
+
+        text = render_prometheus(self._registry().collect())
+        return Response(200, text.encode(), CONTENT_TYPE)
+
+    def job_events(self, job_id: str, timeout: float | None = None) -> Response:
+        """SSE stream of one job's lifecycle: a snapshot (including
+        queue position while queued), then every event — started,
+        per-sweep-point progress, terminal — as it lands."""
+        orch = self.orchestrator
+        with orch._lock:
+            if orch.get(job_id) is None:
+                return _error(404, f"no job {job_id!r}")
+
+        def sse() -> Iterator[bytes]:
+            for event in orch.stream_events(job_id, timeout=timeout):
+                payload = json.dumps(event, default=str)
+                yield (
+                    f"event: {event.get('event', 'message')}\n"
+                    f"data: {payload}\n\n"
+                ).encode()
+
+        return Response(200, b"", SSE_TYPE, stream=sse())
 
     def submit(self, body: dict) -> Response:
         if not isinstance(body, dict):
@@ -175,9 +219,15 @@ class ServeApp:
             return _error(500, f"{type(exc).__name__}: {exc}")
 
     def _route(self, method: str, path: str, body: bytes) -> Response:
-        parts = [p for p in path.split("/") if p]
+        from urllib.parse import parse_qs, urlsplit
+
+        split = urlsplit(path)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        parts = [p for p in split.path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             return self.healthz()
+        if method == "GET" and parts == ["metrics"]:
+            return self.metrics_prometheus()
         if method == "GET" and parts == ["v1", "metrics"]:
             return self.metrics()
         if parts[:2] == ["v1", "jobs"]:
@@ -192,6 +242,14 @@ class ServeApp:
                 return self.list_jobs()
             if method == "GET" and len(rest) == 1:
                 return self.job_status(rest[0])
+            if method == "GET" and len(rest) == 2 and rest[1] == "events":
+                timeout = None
+                if "timeout" in query:
+                    try:
+                        timeout = float(query["timeout"])
+                    except ValueError:
+                        return _error(400, "'timeout' must be a number")
+                return self.job_events(rest[0], timeout=timeout)
             if method == "POST" and len(rest) == 2 and rest[1] == "cancel":
                 return self.cancel(rest[0])
             if method == "GET" and len(rest) == 2 and rest[1] == "artifacts":

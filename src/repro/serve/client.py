@@ -111,3 +111,33 @@ class ServeClient:
                     f"job {job_id} still {job['state']} after {timeout}s"
                 )
             time.sleep(poll)
+
+    def events(self, job_id: str, timeout: float | None = None):
+        """Follow the job's live SSE event stream
+        (``GET /v1/jobs/<id>/events``), yielding one decoded event
+        dict per server-sent event until the job is terminal (the
+        server closes the stream) or ``timeout`` seconds pass
+        server-side."""
+        path = f"/v1/jobs/{job_id}/events"
+        if timeout is not None:
+            path += f"?timeout={timeout}"
+        req = urllib.request.Request(f"{self.base_url}{path}")
+        try:
+            resp = urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                message = json.loads(payload).get(
+                    "error", payload.decode(errors="replace")
+                )
+            except ValueError:
+                message = payload.decode(errors="replace")
+            raise ServeError(exc.code, message) from None
+        with resp:
+            for raw in resp:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if line.startswith("data:"):
+                    try:
+                        yield json.loads(line[len("data:"):].strip())
+                    except ValueError:
+                        continue

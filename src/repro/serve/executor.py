@@ -150,13 +150,27 @@ class ExperimentExecutor:
 
     # -- execution -----------------------------------------------------
     def execute(
-        self, spec: dict, should_cancel: Callable[[], bool] = lambda: False
+        self, spec: dict,
+        should_cancel: Callable[[], bool] = lambda: False,
+        progress: Callable[[dict], None] | None = None,
+        job_info: dict | None = None,
     ) -> tuple[dict, dict[str, bytes]]:
         """Run the experiment and build its artifacts; returns
-        ``(meta, artifacts)`` for :meth:`RunStore.publish`."""
+        ``(meta, artifacts)`` for :meth:`RunStore.publish`.
+
+        ``progress`` (when given) receives aggregated sweep progress
+        dicts — ``{"done", "total", "cache_hits", "point"}`` — once
+        per completed sweep point, on this thread. The same per-point
+        hook doubles as the cooperative cancellation probe, so a
+        cancel interrupts between sweep points, not just between
+        phases. ``job_info`` carries the service-side correlation
+        context (trace id, submission timestamps) stamped into the
+        Perfetto trace artifact as host-side spans.
+        """
         from repro.experiments import ALL_EXPERIMENTS
         from repro.obs.export import build_perfetto, build_run_manifest
         from repro.obs.session import session as obs_session
+        from repro.perf import progress as perf_progress
         from repro.perf.cache import activate, code_fingerprint
 
         exp_id, kwargs, obs_cfg = self.resolve(spec)
@@ -166,12 +180,39 @@ class ExperimentExecutor:
         run_kwargs = dict(kwargs)
         if "jobs" in inspect.signature(fn).parameters:
             run_kwargs["jobs"] = self.jobs
+
+        # host-side sweep observer: aggregates per-sweep events into
+        # job-level progress, records per-point wall times for the
+        # trace's host spans, and probes cancellation between points
+        tally = {"done": 0, "total": 0, "cache_hits": 0}
+        point_log: list[dict[str, Any]] = []
+
+        def on_sweep_event(event: dict) -> None:
+            if event["event"] == "sweep_start":
+                tally["total"] += event["points"]
+            elif event["event"] == "point":
+                tally["done"] += 1
+                if event.get("cached"):
+                    tally["cache_hits"] += 1
+                point_log.append({
+                    "label": event.get("label", ""),
+                    "mono": time.monotonic(),
+                    "cached": bool(event.get("cached")),
+                })
+            if should_cancel():
+                raise JobCancelled()
+            if progress is not None:
+                progress({**tally, "point": event.get("label")})
+
         t0 = time.time()
+        t0_mono = time.monotonic()
         with activate(self.cache):
             cache_before = (
                 self.cache.stats.snapshot() if self.cache is not None else None
             )
-            with obs_session(obs_cfg) as s:
+            with obs_session(obs_cfg) as s, perf_progress.activate(
+                on_sweep_event
+            ):
                 result = fn(**run_kwargs)
                 data = s.data()
         wall = time.time() - t0
@@ -211,13 +252,21 @@ class ExperimentExecutor:
             "run.json": _dump(manifest),
         }
         if obs_cfg.trace:
-            artifacts["trace.json"] = _dump(build_perfetto(data["records"]))
+            host_events = _host_trace_events(
+                exp_id, job_info, t0_mono, time.monotonic(), point_log
+            )
+            artifacts["trace.json"] = _dump(build_perfetto(
+                data["records"],
+                host_events=host_events,
+                trace_id=(job_info or {}).get("trace_id"),
+            ))
         meta = {
             "experiment": exp_id,
             "params": params,
             "wall_seconds": timings["wall_seconds"],
             "fingerprint": code_fingerprint(fn.__module__),
             "obs_key": repr(obs_cfg),
+            "trace_id": (job_info or {}).get("trace_id"),
             "cache": (
                 self.cache.stats.delta(cache_before)
                 if cache_before is not None
@@ -225,6 +274,53 @@ class ExperimentExecutor:
             ),
         }
         return meta, artifacts
+
+
+def _host_trace_events(
+    exp_id: str,
+    job_info: dict | None,
+    t0_mono: float,
+    t1_mono: float,
+    point_log: list[dict[str, Any]],
+) -> list[dict]:
+    """Host-side spans for the job's Perfetto trace: the daemon's
+    queued wait, the executor's run, and one span per sweep point
+    (bounded by consecutive parent-side completion times).
+
+    Timestamps are microseconds of *wall time since submission* on the
+    dedicated host process track; the sim-side tracks stay in
+    simulated cycles. One trace.json then shows daemon → orchestrator
+    → executor → sim-engine attribution in a single Perfetto load,
+    correlated by the trace id stamped on every host event.
+    """
+    from repro.obs.export import host_span_events
+
+    info = job_info or {}
+    base = info.get("submitted_mono", t0_mono)
+
+    def us(mono: float) -> int:
+        return max(0, int((mono - base) * 1e6))
+
+    spans: list[dict[str, Any]] = []
+    started_mono = info.get("started_mono")
+    if started_mono is not None:
+        spans.append({
+            "name": "job.queued", "tid": 0,
+            "ts0": us(base), "ts1": us(started_mono),
+        })
+    spans.append({
+        "name": f"job.execute:{exp_id}", "tid": 1,
+        "ts0": us(t0_mono), "ts1": us(t1_mono),
+    })
+    prev = t0_mono
+    for point in point_log:
+        spans.append({
+            "name": point["label"] or "point", "tid": 2,
+            "ts0": us(prev), "ts1": us(point["mono"]),
+            "args": {"cached": point["cached"]},
+        })
+        prev = point["mono"]
+    return host_span_events(spans, trace_id=info.get("trace_id"))
 
 
 def _dump(doc: Any) -> bytes:

@@ -1,0 +1,187 @@
+"""The job event journal: append-only JSONL, observability artifact
+and durability mechanism in one.
+
+Every job lifecycle transition the orchestrator makes is appended as
+one JSON line *before* the daemon acts on it being durable:
+
+    {"t": "submitted", "wall": ..., "mono": ..., "job": "ab12...",
+     "key": "...", "spec": {...}, "priority": 0, "spec_hash": "...",
+     "trace_id": "..."}
+    {"t": "started",  "wall": ..., "mono": ..., "job": "ab12..."}
+    {"t": "progress", "wall": ..., "mono": ..., "job": "ab12...",
+     "done": 3, "total": 8, "cache_hits": 1, "point": "fig8[3]"}
+    {"t": "done" | "failed" | "cancelled" | "interrupted", ...}
+
+plus a ``daemon_start`` boundary marker per process so restarts are
+visible in the record. Two clocks ride every event: ``wall``
+(``time.time``, for humans and cross-host correlation) and ``mono``
+(``time.monotonic``, for durations that survive NTP steps). Within
+one daemon process the two share an epoch pair, so queue/run latency
+is exact; across restarts only ``wall`` is comparable.
+
+**Replay** (:meth:`JobJournal.reconstruct`) folds the event stream
+into the last-known state of every job, which is how the orchestrator
+survives a restart: jobs whose final event leaves them ``queued`` are
+re-queued (original priority, original submission order within a
+priority band), jobs that were ``running`` when the daemon died are
+marked ``interrupted`` (state ``failed``, the spec preserved so a
+resubmission retries), and terminal jobs are re-registered so their
+ids — and their run-store keys — keep answering ``GET /v1/jobs/<id>``
+and artifact fetches after the restart.
+
+The journal is the source of truth for "what happened": a job's full
+lifecycle (submit → queue → per-sweep-point progress → done) is
+reconstructable from this file alone, with no daemon running.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+JOURNAL_NAME = "journal.jsonl"
+
+#: journal line schema version (bump on incompatible event changes)
+JOURNAL_SCHEMA = 1
+
+#: event types that mark a job terminal in replay
+TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled", "interrupted"})
+
+
+def spec_hash(spec: Any) -> str:
+    """A stable short hash of a job spec (sorted-key JSON), carried on
+    every ``submitted`` event so journals can be grepped by workload
+    without parsing specs."""
+    blob = json.dumps(spec, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class JobJournal:
+    """Append-only JSONL journal of job lifecycle events.
+
+    Thread-safe: orchestrator workers and the submit path append
+    concurrently under one lock, each event flushed as a complete
+    line, so a reader (``alewife-repro tail``, ``tail -f``) never sees
+    a torn record and a crash loses at most the line being written.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh: io.TextIOWrapper | None = None
+
+    # -- write ---------------------------------------------------------
+    def _handle(self) -> io.TextIOWrapper:
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def record(self, event_type: str, **fields: Any) -> dict[str, Any]:
+        """Append one event (stamped with wall + monotonic clocks);
+        returns the event as written."""
+        event = {
+            "t": event_type,
+            "wall": time.time(),
+            "mono": time.monotonic(),
+            **fields,
+        }
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            fh = self._handle()
+            fh.write(line + "\n")
+            fh.flush()
+        return event
+
+    def mark_daemon_start(self) -> dict[str, Any]:
+        """The per-process boundary marker (schema, pid)."""
+        return self.record(
+            "daemon_start", schema=JOURNAL_SCHEMA, pid=os.getpid()
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+
+    # -- read ----------------------------------------------------------
+    def replay(self) -> Iterator[dict[str, Any]]:
+        """Yield every decodable event in append order. A torn final
+        line (crash mid-write) is skipped, not fatal."""
+        if not self.path.is_file():
+            return
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn/corrupt line: skip
+                if isinstance(event, dict) and "t" in event:
+                    yield event
+
+    def reconstruct(self) -> dict[str, dict[str, Any]]:
+        """Fold the journal into per-job last-known state.
+
+        Returns ``{job_id: record}`` in first-submission order, where
+        each record carries ``state`` (a journal event type:
+        ``submitted``/``started``/``progress`` collapse to the
+        lifecycle position; terminal events stick), the submission
+        fields (``spec``, ``key``, ``priority``, ``trace_id``), the
+        event timestamps, and the last ``progress`` payload seen.
+        """
+        jobs: dict[str, dict[str, Any]] = {}
+        for event in self.replay():
+            job_id = event.get("job")
+            if job_id is None:
+                continue  # daemon_start and other markers
+            t = event["t"]
+            if t == "submitted":
+                jobs[job_id] = {
+                    "job": job_id,
+                    "state": "queued",
+                    "spec": event.get("spec"),
+                    "key": event.get("key"),
+                    "priority": event.get("priority", 0),
+                    "trace_id": event.get("trace_id", job_id),
+                    "dedup": bool(event.get("dedup")),
+                    "submitted_wall": event["wall"],
+                    "submitted_mono": event["mono"],
+                    "progress": None,
+                    "error": None,
+                }
+                continue
+            rec = jobs.get(job_id)
+            if rec is None:
+                continue  # event for a job submitted before this file
+            if t == "started":
+                rec["state"] = "running"
+                rec["started_wall"] = event["wall"]
+                rec["started_mono"] = event["mono"]
+            elif t == "progress":
+                rec["progress"] = {
+                    k: event[k]
+                    for k in ("done", "total", "cache_hits", "point")
+                    if k in event
+                }
+            elif t in TERMINAL_EVENTS:
+                rec["state"] = "failed" if t == "interrupted" else t
+                rec["finished_wall"] = event["wall"]
+                rec["finished_mono"] = event["mono"]
+                rec["error"] = event.get("error")
+                if t == "interrupted":
+                    rec["interrupted"] = True
+        return jobs
+
+
+def default_journal_path(store_root: str | Path) -> Path:
+    """The journal's home: alongside the run store it describes."""
+    return Path(store_root) / JOURNAL_NAME

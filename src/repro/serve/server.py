@@ -3,50 +3,90 @@
 HTTP threads only parse requests and shovel bytes — every decision
 lives in :class:`~repro.serve.api.ServeApp`, and every experiment runs
 on the orchestrator's worker threads, so a slow simulation never
-blocks health checks or status polls.
+blocks health checks or status polls. Streaming responses (the SSE
+job-event endpoint) are sent with chunked transfer encoding, one
+chunk per event, flushed as they land.
+
+Logging goes through the stdlib ``repro.serve`` logger — every
+request is one structured line (method, path, status, duration in
+milliseconds) at INFO, ``http.server``'s own chatter at DEBUG —
+configured by ``--log-level``/``--log-file`` (stderr by default).
 
 Startup/shutdown contract (``alewife-repro serve``):
 
-1. build the run store, the shared run cache, the executor, and the
-   orchestrator; start the workers;
+1. build the run store, the job journal, the shared run cache, the
+   executor, and the orchestrator; **replay the journal** (queued jobs
+   from the previous process re-queue, interrupted runs are marked);
+   start the workers;
 2. serve until SIGINT/SIGTERM;
 3. graceful shutdown: stop accepting HTTP, then
    ``orchestrator.shutdown(drain=True)`` — in-flight jobs finish and
-   publish, queued jobs stay queued (and dedup makes resubmission
-   after a restart free for anything already materialized).
+   publish, queued jobs stay queued *and journaled*, so the next
+   daemon on this store picks them up exactly where this one stopped.
 """
 
 from __future__ import annotations
 
+import logging
 import signal
-import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.api import ServeApp
 from repro.serve.executor import ExperimentExecutor
+from repro.serve.journal import JobJournal, default_journal_path
 from repro.serve.orchestrator import JobOrchestrator
 from repro.serve.store import RunStore
 
 #: request body cap: job specs are small JSON documents
 MAX_BODY_BYTES = 1 << 20
 
+logger = logging.getLogger("repro.serve")
+
+
+def configure_logging(
+    level: str = "info", log_file: str | None = None
+) -> None:
+    """Point the ``repro.serve`` logger at stderr (or ``log_file``)
+    with structured single-line records. Idempotent per process —
+    reconfiguring replaces the previous handler."""
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler: logging.Handler
+    if log_file:
+        handler = logging.FileHandler(log_file)
+    else:
+        handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname)s %(name)s %(message)s"
+    ))
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
 
-    # quiet by default; `serve --verbose` restores request logging
+    # http.server's own request lines (and errors) go to the leveled
+    # logger instead of being swallowed or splattered on stderr
     def log_message(self, fmt: str, *args) -> None:
-        if getattr(self.server, "verbose", False):
-            sys.stderr.write(
-                f"[serve] {self.address_string()} {fmt % args}\n"
-            )
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    def log_error(self, fmt: str, *args) -> None:
+        logger.warning("%s %s", self.address_string(), fmt % args)
 
     def _respond(self) -> None:
         app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        t0 = time.perf_counter()
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
+            resp = None
             body, status = b'{"error": "request body too large"}\n', 413
             content_type = "application/json"
         else:
@@ -54,11 +94,43 @@ class _Handler(BaseHTTPRequestHandler):
                 self.command, self.path, self.rfile.read(length)
             )
             body, status, content_type = resp.body, resp.status, resp.content_type
+        try:
+            if resp is not None and resp.stream is not None:
+                status = self._send_stream(resp, status, content_type)
+            else:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+        finally:
+            logger.info(
+                "request method=%s path=%s status=%d duration_ms=%.1f",
+                self.command, self.path, status,
+                (time.perf_counter() - t0) * 1e3,
+            )
+
+    def _send_stream(self, resp, status: int, content_type: str) -> int:
+        """Send a streaming response chunk-by-chunk (HTTP/1.1 chunked
+        transfer encoding), flushing each chunk so SSE clients see
+        events live. A client hanging up just ends the stream."""
         self.send_response(status)
         self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
-        self.wfile.write(body)
+        try:
+            for chunk in resp.stream:
+                if not chunk:
+                    continue
+                self.wfile.write(f"{len(chunk):x}\r\n".encode())
+                self.wfile.write(chunk)
+                self.wfile.write(b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        return status
 
     do_GET = do_POST = _respond
 
@@ -86,15 +158,32 @@ def build_app(
     no_cache: bool = False,
     workers: int = 1,
     jobs: int = 1,
+    journal_path: str | None = None,
+    recover: bool = True,
 ) -> ServeApp:
-    """Wire store + cache + executor + orchestrator into one app
-    (workers not yet started)."""
+    """Wire store + journal + cache + executor + orchestrator into one
+    app (workers not yet started). The journal lives next to the run
+    store by default, is replayed here (``recover=True``) so queued
+    jobs from a previous daemon survive, and keeps appending for the
+    life of the app."""
     from repro.perf.cache import RunCache
 
     store = RunStore(store_dir)
+    journal = JobJournal(journal_path or default_journal_path(store.root))
     cache = None if no_cache else RunCache(cache_dir)
     executor = ExperimentExecutor(cache=cache, jobs=jobs)
-    orchestrator = JobOrchestrator(executor, store, workers=workers)
+    orchestrator = JobOrchestrator(
+        executor, store, workers=workers, journal=journal
+    )
+    if recover:
+        recovered = orchestrator.recover()
+        if any(recovered.values()):
+            logger.info(
+                "journal recovery: %d re-queued, %d interrupted, "
+                "%d terminal re-registered",
+                recovered["requeued"], recovered["interrupted"],
+                recovered["terminal"],
+            )
     return ServeApp(orchestrator, store)
 
 
@@ -107,11 +196,17 @@ def serve(
     workers: int = 1,
     jobs: int = 1,
     verbose: bool = False,
+    log_level: str | None = None,
+    log_file: str | None = None,
+    journal_path: str | None = None,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM; returns an exit code."""
+    configure_logging(
+        log_level or ("debug" if verbose else "info"), log_file
+    )
     app = build_app(
         store_dir=store_dir, cache_dir=cache_dir, no_cache=no_cache,
-        workers=workers, jobs=jobs,
+        workers=workers, jobs=jobs, journal_path=journal_path,
     )
     app.orchestrator.start()
     server = ServeServer((host, port), app, verbose=verbose)
@@ -131,6 +226,11 @@ def serve(
         f"(store: {app.store.root}, workers: {app.orchestrator.n_workers})",
         flush=True,
     )
+    logger.info(
+        "listening host=%s port=%d store=%s journal=%s workers=%d",
+        host, server.port, app.store.root,
+        app.orchestrator.journal.path, app.orchestrator.n_workers,
+    )
     try:
         server.serve_forever(poll_interval=0.2)
     finally:
@@ -138,6 +238,9 @@ def serve(
             signal.signal(sig, handler)
         server.server_close()
         print("repro-serve draining in-flight jobs...", flush=True)
+        logger.info("draining in-flight jobs")
         app.orchestrator.shutdown(drain=True)
+        app.orchestrator.journal.close()
         print("repro-serve stopped", flush=True)
+        logger.info("stopped")
     return 0

@@ -156,3 +156,19 @@ class RunStore:
 
     def count(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def total_bytes(self) -> int:
+        """On-disk bytes across every file under the runs tree
+        (entries and artifacts; half-published temp files included —
+        this is a capacity gauge, not a content audit)."""
+        runs = self.root / "runs"
+        if not runs.is_dir():
+            return 0
+        total = 0
+        for path in runs.rglob("*"):
+            try:
+                if path.is_file():
+                    total += path.stat().st_size
+            except OSError:  # racing publisher/GC: skip
+                continue
+        return total

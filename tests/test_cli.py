@@ -78,3 +78,57 @@ def test_version_prints_version_and_fingerprint(capsys):
     fingerprint = out.rsplit(":", 1)[1].strip()
     assert fingerprint == repo_fingerprint()
     assert len(fingerprint) == 64 and int(fingerprint, 16) >= 0
+
+
+def test_tail_requires_job_id_or_all():
+    with pytest.raises(SystemExit, match="JOB_ID or --all"):
+        main(["tail"])
+    with pytest.raises(SystemExit, match="JOB_ID or --all"):
+        main(["tail", "abc123", "--all"])
+
+
+def test_serve_tail_rewrites_to_tail():
+    # 'serve tail' must reach the tail subcommand, not the daemon;
+    # with neither a job id nor --all it exits with tail's usage error
+    with pytest.raises(SystemExit, match="JOB_ID or --all"):
+        main(["serve", "tail"])
+
+
+def test_event_line_renders_each_event_kind():
+    from repro.cli import _event_line
+
+    snap = _event_line({
+        "event": "snapshot", "queue_position": 2,
+        "job": {"id": "ab", "state": "queued",
+                "progress": {"done": 1, "total": 4}},
+    })
+    assert "job=ab" in snap and "queue_position=2" in snap
+    assert "progress=1/4" in snap
+    prog = _event_line({
+        "event": "progress", "done": 3, "total": 8,
+        "point": "measure_point[2]", "cache_hits": 1,
+    })
+    assert prog == "progress 3/8 point=measure_point[2] cache_hits=1"
+    assert _event_line({"event": "heartbeat", "queue_position": 5}) == (
+        "heartbeat queue_position=5"
+    )
+    done = _event_line({"event": "done", "job": "ab", "dedup": True})
+    assert done == "done job=ab dedup=True"
+    failed = _event_line({"event": "failed", "job": "ab", "error": "boom"})
+    assert "error=boom" in failed
+
+
+def test_job_line_includes_progress_and_run_seconds():
+    from repro.cli import _job_line
+
+    line = _job_line({
+        "id": "ab", "state": "running", "dedup": False, "priority": 0,
+        "key": "k" * 64, "run_seconds": None,
+        "progress": {"done": 2, "total": 5},
+    })
+    assert "progress=2/5" in line
+    line = _job_line({
+        "id": "ab", "state": "done", "dedup": False, "priority": 0,
+        "key": "k" * 64, "run_seconds": 1.5, "progress": None,
+    })
+    assert "wall=1.50s" in line

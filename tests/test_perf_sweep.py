@@ -179,3 +179,79 @@ def _no_leaked_pools():
     from repro.perf import sweep
 
     sweep.shutdown_pools()
+
+
+class TestProgressEvents:
+    """The thread-local progress observer (repro.perf.progress): the
+    sweep reports sweep_start and one point event per completed point,
+    in input order for serial/cached paths, without perturbing
+    results."""
+
+    POINTS = [
+        SweepPoint("tests.test_perf_sweep:_square", {"x": i})
+        for i in range(4)
+    ]
+
+    def test_serial_sweep_reports_every_point_in_order(self):
+        from repro.perf import progress
+
+        events = []
+        with progress.activate(events.append):
+            results = SweepRunner(1).map(self.POINTS)
+        assert results == [0, 1, 4, 9]
+        assert events[0] == {
+            "event": "sweep_start", "points": 4, "cached": 0,
+        }
+        points = events[1:]
+        assert [e["index"] for e in points] == [0, 1, 2, 3]
+        assert all(e["event"] == "point" for e in points)
+        assert all(not e["cached"] for e in points)
+        assert points[0]["label"] == "_square[0]"
+
+    def test_no_observer_means_no_overhead_path(self):
+        from repro.perf import progress
+
+        assert progress.current() is None
+        assert SweepRunner(1).map(self.POINTS) == [0, 1, 4, 9]
+
+    def test_observer_is_thread_local(self):
+        import threading
+
+        from repro.perf import progress
+
+        seen_in_thread = []
+
+        def other():
+            seen_in_thread.append(progress.current())
+
+        with progress.activate(lambda e: None):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen_in_thread == [None]
+
+    def test_cached_sweep_reports_hits(self, tmp_path):
+        from repro.perf import progress
+        from repro.perf.cache import RunCache, activate
+
+        cache = RunCache(tmp_path)
+        with activate(cache):
+            SweepRunner(1).map(self.POINTS)  # warm the cache
+            events = []
+            with progress.activate(events.append):
+                assert SweepRunner(1).map(self.POINTS) == [0, 1, 4, 9]
+        assert events[0]["event"] == "sweep_start"
+        assert events[0]["cached"] == 4
+        assert [e["index"] for e in events[1:]] == [0, 1, 2, 3]
+        assert all(e["cached"] for e in events[1:])
+
+    def test_callback_exception_aborts_the_sweep(self):
+        from repro.perf import progress
+
+        def explode(event):
+            if event["event"] == "point" and event["index"] == 1:
+                raise RuntimeError("abort requested")
+
+        with progress.activate(explode):
+            with pytest.raises(RuntimeError, match="abort requested"):
+                SweepRunner(1).map(self.POINTS)

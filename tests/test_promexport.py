@@ -1,0 +1,161 @@
+"""Prometheus text-exposition tests (ISSUE 8 satellite): the renderer
+in :mod:`repro.obs.promexport` must emit spec-conformant 0.0.4 text —
+sanitized names, escaped label values, one ``# TYPE`` per metric, and
+cumulative histogram buckets ending in ``le="+Inf"``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    CONTENT_TYPE,
+    escape_label_value,
+    main,
+    metric_name,
+    render_prometheus,
+)
+
+
+def _parse(text):
+    """A deliberately tiny exposition parser: type declarations plus
+    ``{"name{labels}": value}`` samples (Python's float() already
+    accepts ``+Inf``/``NaN``)."""
+    types, samples = {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            types[name] = kind
+        elif line and not line.startswith("#"):
+            metric, value = line.rsplit(" ", 1)
+            samples[metric] = float(value)
+    return types, samples
+
+
+class TestNamesAndLabels:
+    def test_metric_name_sanitization(self):
+        assert metric_name("serve.queue_depth") == "serve_queue_depth"
+        assert metric_name("cache hit-rate%") == "cache_hit_rate_"
+        assert metric_name("9lives") == "_9lives"
+        assert metric_name("a:b_c") == "a:b_c"  # colons are legal
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('say "hi"\n\\x') == r"say \"hi\"\n\\x"
+
+    def test_escaped_labels_render_on_one_line(self):
+        text = render_prometheus({"rows": [{
+            "name": "weird", "kind": "gauge",
+            "labels": {"path": 'a"b\\c\nd'}, "value": 1,
+        }]})
+        sample = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert sample == ['weird{path="a\\"b\\\\c\\nd"} 1']
+
+
+class TestRendering:
+    def test_counter_gauge_and_type_lines(self):
+        text = render_prometheus({"rows": [
+            {"name": "serve.submitted", "kind": "counter", "labels": {},
+             "value": 7},
+            {"name": "serve.jobs", "kind": "gauge",
+             "labels": {"state": "done"}, "value": 3},
+            {"name": "serve.jobs", "kind": "gauge",
+             "labels": {"state": "queued"}, "value": 0},
+        ]})
+        types, samples = _parse(text)
+        assert types == {"serve_submitted": "counter", "serve_jobs": "gauge"}
+        # one TYPE line even though serve_jobs has two samples
+        assert text.count("# TYPE serve_jobs") == 1
+        assert samples["serve_submitted"] == 7
+        assert samples['serve_jobs{state="done"}'] == 3
+        assert samples['serve_jobs{state="queued"}'] == 0
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus({"rows": [{
+            "name": "lat", "kind": "histogram", "labels": {},
+            "value": {
+                "bounds": [0.1, 1.0, 5.0],
+                "counts": [2, 3, 0, 4],  # last entry = overflow bucket
+                "sum": 12.5,
+                "count": 9,
+            },
+        }]})
+        types, samples = _parse(text)
+        assert types == {"lat": "histogram"}
+        assert samples['lat_bucket{le="0.1"}'] == 2
+        assert samples['lat_bucket{le="1"}'] == 5  # cumulative, .0 trimmed
+        assert samples['lat_bucket{le="5"}'] == 5
+        assert samples['lat_bucket{le="+Inf"}'] == 9  # includes overflow
+        assert samples["lat_sum"] == 12.5
+        assert samples["lat_count"] == 9
+
+    def test_none_and_nan_render_as_nan(self):
+        _, samples = _parse(render_prometheus({"rows": [
+            {"name": "a", "kind": "gauge", "labels": {}, "value": None},
+            {"name": "b", "kind": "gauge", "labels": {},
+             "value": float("nan")},
+        ]}))
+        assert samples["a"] != samples["a"]  # NaN
+        assert samples["b"] != samples["b"]
+
+    def test_kind_conflict_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            render_prometheus({"rows": [
+                {"name": "x", "kind": "counter", "labels": {}, "value": 1},
+                {"name": "x", "kind": "gauge", "labels": {}, "value": 2},
+            ]})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            render_prometheus({"rows": [
+                {"name": "x", "kind": "summary", "labels": {}, "value": 1},
+            ]})
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({"rows": []}) == ""
+
+
+class TestRegistryRoundTrip:
+    def test_live_registry_renders_and_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("demo.hits", lambda: 4)
+        reg.gauge("demo.depth", lambda: 2, queue="main")
+        hist = reg.histogram("demo.lat", (1.0, 10.0))
+        for v in (0.5, 0.6, 5.0, 100.0):
+            hist.observe(v)
+        types, samples = _parse(render_prometheus(reg.collect()))
+        assert types == {
+            "demo_hits": "counter",
+            "demo_depth": "gauge",
+            "demo_lat": "histogram",
+        }
+        assert samples["demo_hits"] == 4
+        assert samples['demo_depth{queue="main"}'] == 2
+        assert samples['demo_lat_bucket{le="1"}'] == 2
+        assert samples['demo_lat_bucket{le="10"}'] == 3
+        assert samples['demo_lat_bucket{le="+Inf"}'] == 4
+        assert samples["demo_lat_count"] == 4
+
+    def test_content_type_advertises_exposition_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestCli:
+    def test_renders_a_run_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest = {"metrics": {"rows": [
+            {"name": "cache.hits", "kind": "counter", "labels": {},
+             "value": 11},
+        ]}}
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(manifest))
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE cache_hits counter" in out
+        assert "cache_hits 11" in out
+
+    def test_manifest_without_metrics_fails(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        path.write_text("{}")
+        assert main([str(path)]) == 1
+        assert main([]) == 2

@@ -119,6 +119,22 @@ class TestRouting:
         assert body["code_fingerprint"] == repo_fingerprint()
         assert body["jobs"]["queued"] == 0
 
+    def test_prometheus_endpoint_renders_exposition_text(self, app):
+        resp = app.handle("GET", "/metrics")
+        assert resp.status == 200
+        assert resp.content_type.startswith("text/plain; version=0.0.4")
+        text = resp.body.decode()
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert 'serve_jobs{state="queued"} 0' in text
+        assert 'serve_job_queue_seconds_bucket{le="+Inf"} 0' in text
+
+    def test_job_events_unknown_job_404(self, app):
+        assert app.handle("GET", "/v1/jobs/nope/events").status == 404
+
+    def test_job_events_bad_timeout_400(self, app):
+        resp = app.handle("GET", "/v1/jobs/x/events?timeout=soon")
+        assert resp.status == 400
+
     def test_artifacts_of_unfinished_job_409(self, tmp_path):
         # a queued job has no published run yet; the API says so
         # instead of 404ing the job id. Workers never started, so the
@@ -226,3 +242,70 @@ class TestEndToEnd:
         job = client.submit(TINY_SPEC)  # already done via dedup
         cancelled = client.cancel(job["id"])  # idempotent no-op
         assert cancelled["state"] == "done"
+
+    def test_status_carries_dual_clocks_progress_and_trace_id(self, service):
+        _, client = service
+        spec = {"experiment": "fig8", "params": {"block_sizes": [256]}}
+        job = client.submit(spec)
+        job = client.wait(job["id"], timeout=120.0)
+        assert job["state"] == "done", job.get("error")
+        assert job["trace_id"] == job["id"]
+        # wall-clock fields, ordered
+        assert (
+            job["submitted_at"] <= job["started_at"] <= job["finished_at"]
+        )
+        # monotonic-derived durations
+        assert job["queue_seconds"] >= 0
+        assert job["run_seconds"] > 0
+        # final progress: every sweep point accounted for
+        assert job["progress"]["done"] == job["progress"]["total"] > 0
+
+    def test_event_stream_over_http(self, service):
+        _, client = service
+        spec = {"experiment": "fig8", "params": {"block_sizes": [1024]}}
+        job = client.submit(spec)
+        events = list(client.events(job["id"], timeout=120.0))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "snapshot"
+        assert kinds[-1] == "done"  # server closes at the terminal event
+        assert kinds.index("submitted") < kinds.index("started")
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, "no progress events on the SSE stream"
+        dones = [e["done"] for e in progress]
+        assert dones == sorted(dones)  # monotone per-point completion
+        assert progress[-1]["done"] == progress[-1]["total"] > 0
+
+    def test_prometheus_scrape_over_http(self, service):
+        _, client = service
+        text = client._request("GET", "/metrics").decode()
+        assert "# TYPE serve_submitted counter" in text
+        assert 'serve_jobs{state="done"}' in text
+        # at least one real execution happened: latency histograms filled
+        assert 'serve_job_run_seconds_bucket{le="+Inf"}' in text
+        assert "serve_job_run_seconds_count" in text
+        assert "serve_store_runs" in text
+        assert "serve_cache_hits" in text
+
+    def test_trace_artifact_correlates_host_and_sim_spans(self, service):
+        from repro.obs.export import HOST_PID
+
+        _, client = service
+        job = client.submit({**TINY_SPEC, "trace": True})
+        job = client.wait(job["id"], timeout=120.0)
+        assert job["state"] == "done", job.get("error")
+        trace = json.loads(client.fetch(job["id"], "trace.json"))
+        # the document-level correlation key matches the job
+        assert trace["trace_id"] == job["trace_id"]
+        host = [e for e in trace["traceEvents"] if e["pid"] == HOST_PID]
+        sim = [e for e in trace["traceEvents"] if e["pid"] != HOST_PID]
+        assert host and sim  # both layers in one trace
+        spans = [e for e in host if e["ph"] == "B"]
+        names = {e["name"] for e in spans}
+        assert "job.queued" in names
+        assert any(n.startswith("job.execute:fig8") for n in names)
+        # per-sweep-point spans on the host track (sweep-point fn name)
+        assert any(n.startswith("measure_point[") for n in names)
+        # every host span is stamped with the job's trace id
+        assert all(
+            e["args"]["trace_id"] == job["trace_id"] for e in spans
+        )
