@@ -280,6 +280,13 @@ class RaceDetector:
                     slot = self._rel.get(addr)
                     if slot:
                         _join(vc, slot)
+                    # An atomic that misses applies its RMW at the home
+                    # node *after* issue; a release landing on the
+                    # address in between (e.g. an MCS tail swing by the
+                    # releaser while the acquirer's swap is in flight)
+                    # is invisible here, so defer a re-join to the next
+                    # access — same over-approximation as acquires.
+                    self._pending.setdefault(cid, []).append(addr)
                 slot = self._rel.setdefault(addr, {})
                 _join(slot, vc)
                 vc[cid] = vc.get(cid, 0) + 1

@@ -316,6 +316,21 @@ def print_version() -> int:
 # serve / submit / status / fetch (the repro.serve client surface)
 # ----------------------------------------------------------------------
 def _build_spec(args: argparse.Namespace) -> dict:
+    if args.experiment == "fuzz":
+        # campaign job: {"fuzz": {"seeds": ..., "budget": ...}}
+        body = {}
+        if args.params:
+            import json
+
+            try:
+                body = json.loads(args.params)
+            except ValueError as exc:
+                raise SystemExit(f"--params is not valid JSON: {exc}")
+        for flag in ("quick", "nodes", "trace", "sample_interval", "check"):
+            if getattr(args, flag, None):
+                raise SystemExit(f"--{flag.replace('_', '-')} does not apply "
+                                 "to fuzz campaigns; use --params")
+        return {"fuzz": body}
     spec: dict = {"experiment": args.experiment}
     if args.quick:
         spec["quick"] = True
@@ -621,7 +636,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     subp = sub.add_parser("submit", parents=[client_common],
                           help="submit an experiment job to the service")
-    subp.add_argument("experiment", choices=list(ALL_EXPERIMENTS))
+    subp.add_argument("experiment", choices=list(ALL_EXPERIMENTS) + ["fuzz"],
+                      help="experiment id, or 'fuzz' for a fuzzing campaign")
     subp.add_argument("--quick", action="store_true", help="CI-sized parameters")
     subp.add_argument("--nodes", type=int, default=None)
     subp.add_argument(

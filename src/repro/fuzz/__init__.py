@@ -1,0 +1,52 @@
+"""Push-button fuzzing campaigns (``repro.fuzz``).
+
+The paper's claim is that the message-passing and shared-memory
+mechanisms compose safely on one machine; this package attacks that
+claim mechanically. A seeded generator (:mod:`repro.fuzz.gen`) draws
+random-but-well-formed *scenarios* — machine configs, guest programs
+composed from the runtime primitives (locks, barriers, reduces,
+channels, bulk transfers, macro loops, fork/join trees), and fault
+plans — every one fully determined by a single integer seed plus a
+generator version, so replay is exact.
+
+Each scenario runs through :func:`repro.fuzz.scenario.run_scenario`
+under a stack of *oracles* (:mod:`repro.fuzz.oracles`): the dynamic
+checkers of :mod:`repro.check` (race / coherence / deadlock), crash
+and hang detection (event-budget watchdog), per-primitive self-checks
+(lock counters, reduce totals, copied bytes), and two differential
+oracles that the codebase gives us for free — macro-vs-micro cycle
+identity (a checked run forces the per-element micro path; an
+unchecked replay takes the batched macro path; the two must agree to
+the cycle) and worker-vs-in-process result identity (the parallel
+sweep contract).
+
+The campaign driver (:mod:`repro.fuzz.campaign`) fans seeds out over
+the :class:`~repro.perf.sweep.SweepRunner` pool under a wall-clock
+budget, auto-minimizes every failure by delta-debugging the scenario
+(drop ops, shrink nodes/parameters/fault events) while the verdict
+reproduces, and files reproducer bundles into a content-addressed
+corpus (:mod:`repro.fuzz.corpus`). Surviving corpus entries replay as
+regression scenarios via ``tests/test_fuzz.py``.
+
+Entry points::
+
+    python -m repro.fuzz run --seeds 200 --budget 60
+    python -m repro.fuzz replay scenario.json
+    python -m repro.fuzz gen 42
+    alewife-repro submit fuzz --params '{"seeds": 100}'   # serve job
+
+See ``docs/FUZZING.md``.
+"""
+
+from repro.fuzz.gen import GEN_VERSION, generate, validate_scenario
+from repro.fuzz.oracles import classify, signature_of
+from repro.fuzz.scenario import run_scenario
+
+__all__ = [
+    "GEN_VERSION",
+    "classify",
+    "generate",
+    "run_scenario",
+    "signature_of",
+    "validate_scenario",
+]

@@ -1,0 +1,147 @@
+"""``python -m repro.fuzz`` — the push-button entry points.
+
+    python -m repro.fuzz run --seeds 200 --budget 60 [--jobs N]
+                             [--corpus DIR] [--inject-bug] [--cache]
+    python -m repro.fuzz replay SCENARIO.json
+    python -m repro.fuzz replay --corpus DIR [ID ...]
+    python -m repro.fuzz gen SEED [--inject-bug]
+
+``run`` exits 1 when the campaign found anything (CI smoke gates on
+this); ``replay`` exits 1 when a replayed scenario's verdicts diverge
+from what its bundle recorded (or, for a bare scenario file, when it
+fails at all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import (
+        CampaignConfig,
+        dump_report,
+        format_report,
+        run_campaign,
+    )
+
+    cfg = CampaignConfig(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        budget=args.budget if args.budget > 0 else None,
+        jobs=args.jobs,
+        corpus_dir=args.corpus,
+        inject_bug=args.inject_bug,
+        minimize=not args.no_minimize,
+        use_cache=args.cache,
+    )
+
+    def progress(event: dict) -> None:
+        if not args.quiet and event["phase"] in ("fuzz", "done"):
+            print(
+                f"\r{event['done']}/{event['total']} seeds, "
+                f"{event['findings']} finding(s)",
+                end="", file=sys.stderr, flush=True,
+            )
+
+    report = run_campaign(cfg, progress=progress)
+    if not args.quiet:
+        print(file=sys.stderr)
+    if args.json:
+        sys.stdout.buffer.write(dump_report(report))
+    else:
+        print(format_report(report))
+    return 1 if report["findings"] else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.oracles import classify, signature_of
+    from repro.fuzz.scenario import run_scenario
+
+    failures = 0
+    if args.corpus:
+        from repro.fuzz.corpus import Corpus
+
+        corpus = Corpus(args.corpus)
+        ids = args.target or corpus.ids()
+        if not ids:
+            print(f"no bundles under {args.corpus}")
+            return 0
+        for eid in ids:
+            bundle = corpus.load(eid)
+            got = signature_of(classify(run_scenario(bundle["scenario"])))
+            want = bundle["finding"]["signature"]
+            ok = got == want
+            print(f"{eid}: {'reproduced' if ok else 'DIVERGED'} "
+                  f"{[tuple(p) for p in got]}")
+            if not ok:
+                print(f"  recorded: {[tuple(p) for p in want]}")
+                failures += 1
+        return 1 if failures else 0
+    for path in args.target:
+        scenario = json.loads(Path(path).read_bytes())
+        verdicts = classify(run_scenario(scenario))
+        if verdicts:
+            failures += 1
+            print(f"{path}: {len(verdicts)} verdict(s)")
+            for v in verdicts:
+                print(f"  {v['oracle']}/{v['kind']}: {v['detail'][:160]}")
+        else:
+            print(f"{path}: clean")
+    return 1 if failures else 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.fuzz.gen import generate
+
+    scenario = generate(args.seed, inject_bug=args.inject_bug)
+    print(json.dumps(scenario, indent=1, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Seeded fuzzing campaigns over the simulator.",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    runp = sub.add_parser("run", help="run a fuzzing campaign")
+    runp.add_argument("--seeds", type=int, default=200)
+    runp.add_argument("--base-seed", type=int, default=0)
+    runp.add_argument("--budget", type=float, default=60.0,
+                      help="wall-clock budget in seconds (0 = unlimited)")
+    runp.add_argument("--jobs", type=int, default=1)
+    runp.add_argument("--corpus", default=None, metavar="DIR",
+                      help="write reproducer bundles here")
+    runp.add_argument("--inject-bug", action="store_true",
+                      help="arm the seeded racy-handoff bug (self-test)")
+    runp.add_argument("--no-minimize", action="store_true")
+    runp.add_argument("--cache", action="store_true",
+                      help="keep the ambient run cache active")
+    runp.add_argument("--json", action="store_true",
+                      help="print the full campaign report as JSON")
+    runp.add_argument("--quiet", action="store_true")
+
+    rp = sub.add_parser("replay", help="replay scenarios or corpus bundles")
+    rp.add_argument("target", nargs="*",
+                    help="scenario JSON files (or bundle ids with --corpus)")
+    rp.add_argument("--corpus", default=None, metavar="DIR")
+
+    gp = sub.add_parser("gen", help="print the scenario for one seed")
+    gp.add_argument("seed", type=int)
+    gp.add_argument("--inject-bug", action="store_true")
+
+    args = ap.parse_args(argv)
+    if args.cmd == "run":
+        return _cmd_run(args)
+    if args.cmd == "replay":
+        return _cmd_replay(args)
+    return _cmd_gen(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,479 @@
+"""Campaign driver: seeds → scenarios → oracles → minimized bundles.
+
+A campaign walks a seed range through :func:`repro.fuzz.scenario.run_scenario`
+in batches over the :class:`~repro.perf.sweep.SweepRunner` pool, under
+a wall-clock budget. Every failing result is *confirmed* by an
+in-process replay (a worker-vs-host byte mismatch is itself a finding:
+the ``divergence:parallel`` oracle — the sweep determinism contract),
+then delta-debugged down to the smallest scenario that still produces
+the same primary ``(oracle, kind)`` verdict, and filed into the
+content-addressed corpus.
+
+Caching is *disabled* by default inside a campaign
+(:func:`repro.perf.cache.activate` with ``None``): fuzzing wants fresh
+executions, and a billion one-shot scenario results would only bloat
+the run cache. ``use_cache=True`` re-enables the ambient cache for
+corpus re-replay workflows.
+
+The whole campaign body runs under ``except BaseException:
+shutdown_pools()`` — a crashing or interrupted fuzz run tears down the
+persistent worker pools instead of leaking worker processes (they are
+also registered atexit, but an abort inside a long-lived host process,
+e.g. a serve daemon thread, must not wait for process exit).
+
+Module-level :data:`STATS` aggregates across campaigns in-process;
+``register_metrics`` exposes it as ``fuzz.*`` instruments wherever a
+registry is built (the serve daemon's ``/metrics`` endpoint).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.fuzz.gen import (
+    GEN_VERSION,
+    _estimate_deadline,
+    generate,
+    validate_scenario,
+)
+from repro.fuzz.oracles import ORACLE_ORDER, classify, primary, signature_of
+from repro.fuzz.scenario import canonical, run_scenario
+
+POINT_FN = "repro.fuzz.scenario:run_scenario"
+
+
+# ----------------------------------------------------------------------
+# Stats (process-wide, thread-safe; feeds the serve /metrics endpoint)
+# ----------------------------------------------------------------------
+class FuzzStats:
+    """Locked counters over every campaign run in this process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.campaigns = 0
+        self.scenarios = 0
+        self.wall_seconds = 0.0
+        self.findings: dict[str, int] = {}
+        self.minimize_runs = 0
+        self.shrunk_from = 0
+        self.shrunk_to = 0
+
+    def note_batch(self, n: int, wall: float) -> None:
+        with self._lock:
+            self.scenarios += n
+            self.wall_seconds += wall
+
+    def note_campaign(self) -> None:
+        with self._lock:
+            self.campaigns += 1
+
+    def note_finding(self, oracle: str) -> None:
+        with self._lock:
+            self.findings[oracle] = self.findings.get(oracle, 0) + 1
+
+    def note_minimized(self, orig_bytes: int, min_bytes: int, runs: int) -> None:
+        with self._lock:
+            self.minimize_runs += runs
+            self.shrunk_from += orig_bytes
+            self.shrunk_to += min_bytes
+
+    def rate(self) -> float:
+        with self._lock:
+            return self.scenarios / self.wall_seconds if self.wall_seconds else 0.0
+
+    def shrink_ratio(self) -> float:
+        """Minimized bytes over original bytes (1.0 = no shrinking)."""
+        with self._lock:
+            return self.shrunk_to / self.shrunk_from if self.shrunk_from else 1.0
+
+    def register_metrics(self, reg: Any) -> None:
+        reg.counter("fuzz.campaigns", lambda: self.campaigns)
+        reg.counter("fuzz.scenarios", lambda: self.scenarios)
+        reg.counter("fuzz.minimize_runs", lambda: self.minimize_runs)
+        reg.gauge("fuzz.scenarios_per_sec", self.rate)
+        reg.gauge("fuzz.minimizer_shrink_ratio", self.shrink_ratio)
+        for oracle in ORACLE_ORDER:
+            reg.counter(
+                "fuzz.findings",
+                lambda o=oracle: self.findings.get(o, 0),
+                oracle=oracle,
+            )
+
+
+#: the process-wide tally `repro.serve` exports at /metrics
+STATS = FuzzStats()
+
+
+def register_metrics(reg: Any) -> None:
+    """Register the process-wide fuzz counters on ``reg``."""
+    STATS.register_metrics(reg)
+
+
+# ----------------------------------------------------------------------
+# Campaign
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignConfig:
+    """Everything a campaign needs; plain data (JSON-able)."""
+
+    seeds: int = 200
+    base_seed: int = 0
+    #: wall-clock budget in seconds (None = run every seed)
+    budget: float | None = 60.0
+    jobs: int = 1
+    corpus_dir: str | None = None
+    #: arm the seeded bug (racy flag handoffs) — the self-test mode
+    inject_bug: bool = False
+    minimize: bool = True
+    #: run-scenario invocations the minimizer may spend per finding
+    minimize_budget: int = 80
+    #: write run.json/trace.json replay artifacts into bundles
+    bundle_artifacts: bool = True
+    #: keep the ambient run cache active (default: disabled — fuzzing
+    #: wants fresh executions, not a bloated cache)
+    use_cache: bool = False
+
+
+def run_campaign(
+    cfg: CampaignConfig,
+    progress: Callable[[dict], None] | None = None,
+    should_cancel: Callable[[], bool] = lambda: False,
+) -> dict:
+    """Run one campaign; returns the plain-data campaign report.
+
+    ``progress`` receives ``{"event": "fuzz", "done", "total",
+    "findings", "phase"}`` dicts (the serve executor folds these into
+    job progress / SSE); ``should_cancel`` is probed between batches
+    and between minimizer runs and may raise to abort."""
+    from repro.perf.cache import activate
+    from repro.perf.sweep import shutdown_pools
+
+    try:
+        return _run(cfg, progress, should_cancel, activate)
+    except BaseException:
+        # never leak persistent pool workers on an aborted/crashed
+        # campaign (KeyboardInterrupt, JobCancelled, any bug here)
+        shutdown_pools()
+        raise
+
+
+def _emit(progress, done: int, total: int, found: int, phase: str) -> None:
+    if progress is not None:
+        progress({
+            "event": "fuzz", "done": done, "total": total,
+            "findings": found, "phase": phase,
+        })
+
+
+def _run(cfg, progress, should_cancel, activate) -> dict:
+    from repro.fuzz.corpus import Corpus
+    from repro.perf.sweep import SweepPoint, SweepRunner
+
+    STATS.note_campaign()
+    runner = SweepRunner(jobs=cfg.jobs)
+    corpus = Corpus(cfg.corpus_dir) if cfg.corpus_dir else None
+    cache_ctx = _ambient_cache(activate) if cfg.use_cache else activate(None)
+
+    t0 = time.monotonic()
+    deadline = t0 + cfg.budget if cfg.budget is not None else None
+    batch_size = max(24, cfg.jobs * 8) if cfg.jobs > 1 else 16
+    seeds = list(range(cfg.base_seed, cfg.base_seed + cfg.seeds))
+    findings: list[dict] = []
+    done = 0
+    budget_exhausted = False
+
+    with cache_ctx:
+        _emit(progress, 0, len(seeds), 0, "generate")
+        while done < len(seeds):
+            if should_cancel():
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                budget_exhausted = True
+                break
+            batch = seeds[done:done + batch_size]
+            scenarios = [generate(s, inject_bug=cfg.inject_bug) for s in batch]
+            points = [
+                SweepPoint(POINT_FN, {"scenario": sc}) for sc in scenarios
+            ]
+            t_batch = time.monotonic()
+            results = runner.map(points)
+            STATS.note_batch(len(batch), time.monotonic() - t_batch)
+            for seed, sc, result in zip(batch, scenarios, results):
+                verdicts = classify(result)
+                if not verdicts:
+                    continue
+                findings.append(_handle_failure(
+                    cfg, seed, sc, result, verdicts, corpus, deadline,
+                    should_cancel,
+                ))
+                _emit(progress, done + len(batch), len(seeds),
+                      len(findings), "minimize")
+            done += len(batch)
+            _emit(progress, done, len(seeds), len(findings), "fuzz")
+
+    elapsed = time.monotonic() - t0
+    report = {
+        "config": asdict(cfg),
+        "gen": GEN_VERSION,
+        "seeds_requested": len(seeds),
+        "seeds_run": done,
+        "budget_exhausted": budget_exhausted,
+        "elapsed_seconds": round(elapsed, 3),
+        "scenarios_per_sec": round(done / elapsed, 2) if elapsed else 0.0,
+        "findings": findings,
+    }
+    _emit(progress, done, len(seeds), len(findings), "done")
+    return report
+
+
+def _ambient_cache(activate):
+    """Keep whatever cache the caller's thread already activated."""
+    from repro.perf.cache import current
+
+    return activate(current())
+
+
+def _handle_failure(
+    cfg, seed, scenario, result, verdicts, corpus, deadline, should_cancel
+) -> dict:
+    # confirm in-process: a worker result that does not reproduce
+    # byte-for-byte on the host is a determinism violation — the
+    # divergence:parallel oracle (and the local result is the ground
+    # truth the minimizer must chase)
+    local = run_scenario(scenario)
+    if canonical(local) != canonical(result):
+        verdicts = classify(local) + [{
+            "oracle": "divergence:parallel",
+            "kind": "result",
+            "detail": "worker result != in-process replay of the same scenario",
+        }]
+        result = local
+    target = primary(verdicts)
+    signature = signature_of(verdicts)
+    for v in verdicts:
+        STATS.note_finding(v["oracle"])
+
+    minimized = scenario
+    mruns = 0
+    if cfg.minimize and target is not None:
+        minimized, mruns = minimize_scenario(
+            scenario, target,
+            max_runs=cfg.minimize_budget,
+            time_deadline=deadline,
+            should_cancel=should_cancel,
+        )
+    orig_bytes = len(canonical(scenario))
+    min_bytes = len(canonical(minimized))
+    STATS.note_minimized(orig_bytes, min_bytes, mruns)
+
+    finding = {
+        "seed": seed,
+        "gen": scenario["gen"],
+        "primary": list(target) if target else None,
+        "signature": signature,
+        "verdicts": verdicts,
+        "orig_bytes": orig_bytes,
+        "min_bytes": min_bytes,
+        "minimize_runs": mruns,
+    }
+    if corpus is not None:
+        from repro.fuzz.corpus import reproducer_artifacts
+
+        extra = {
+            "original.json": canonical(scenario).encode() + b"\n",
+        }
+        if cfg.bundle_artifacts:
+            extra.update(reproducer_artifacts(minimized))
+        eid, created = corpus.add(minimized, signature, finding, extra)
+        finding["corpus_id"] = eid
+        finding["corpus_new"] = created
+    finding["scenario"] = scenario
+    finding["minimized"] = minimized
+    return finding
+
+
+# ----------------------------------------------------------------------
+# Minimizer: structural delta-debugging over the scenario document
+# ----------------------------------------------------------------------
+def minimize_scenario(
+    scenario: dict,
+    target: tuple[str, str],
+    max_runs: int = 80,
+    time_deadline: float | None = None,
+    should_cancel: Callable[[], bool] = lambda: False,
+) -> tuple[dict, int]:
+    """Smallest scenario (by canonical-JSON bytes) still producing the
+    primary verdict ``target``; returns ``(scenario, runs_spent)``.
+
+    Shrinks structurally — drop ops (ddmin), shrink the machine, zero
+    fault machinery, floor op parameters — rather than replaying the
+    generator's choice stream, so any hand-written scenario minimizes
+    the same way a generated one does. Every candidate is re-validated
+    and its event deadline re-estimated, so a shrunk reproducer keeps a
+    tight hang budget."""
+    state = {"runs": 0}
+    target = tuple(target)
+
+    def accepts(cand: dict) -> bool:
+        if state["runs"] >= max_runs or should_cancel():
+            return False
+        if time_deadline is not None and time.monotonic() >= time_deadline:
+            return False
+        cand = copy.deepcopy(cand)
+        cand["deadline_events"] = _estimate_deadline(cand)
+        try:
+            validate_scenario(cand)
+        except ValueError:
+            return False
+        state["runs"] += 1
+        got = primary(classify(run_scenario(cand)))
+        if got == target:
+            cand_str = canonical(cand)
+            if len(cand_str) < len(canonical(state["best"])):
+                state["best"] = cand
+                return True
+        return False
+
+    state["best"] = scenario
+    progressed = True
+    while progressed and state["runs"] < max_runs:
+        progressed = False
+        best = state["best"]
+        for cand in _candidates(best):
+            if accepts(cand):
+                progressed = True
+                break  # restart strategies from the new best
+    return state["best"], state["runs"]
+
+
+def _candidates(sc: dict):
+    """Shrink candidates in roughly decreasing payoff order."""
+    # 1. drop program ops (halves first, then singles)
+    if sc["mode"] == "spmd" and len(sc["program"]) > 1:
+        prog = sc["program"]
+        half = len(prog) // 2
+        for keep in (prog[:half], prog[half:]):
+            if keep:
+                yield {**sc, "program": copy.deepcopy(keep)}
+        for i in range(len(prog)):
+            yield {**sc, "program": copy.deepcopy(prog[:i] + prog[i + 1:])}
+    # 2. drop the fault plan, then its pieces
+    if sc.get("faults"):
+        yield {**sc, "faults": None}
+        f = sc["faults"]
+        for rate in ("drop", "duplicate", "delay", "reorder"):
+            if f[rate]:
+                yield {**sc, "faults": {**copy.deepcopy(f), rate: 0.0}}
+        if f["stalls"]:
+            yield {**sc, "faults": {**copy.deepcopy(f), "stalls": []}}
+        if f["outages"]:
+            yield {**sc, "faults": {**copy.deepcopy(f), "outages": []}}
+    # 3. shrink the machine
+    n = sc["machine"]["n_nodes"]
+    for n_new in sorted({2, 3, 4, n // 2, n - 1}):
+        if 2 <= n_new < n:
+            cand = _shrink_nodes(sc, n_new)
+            if cand is not None:
+                yield cand
+    mc = sc["machine"]
+    for key, floor in (
+        ("hw_contexts", 1), ("dir_hw_pointers", 5),
+        ("cache_lines", 1024), ("line_size", 16),
+    ):
+        if mc[key] > floor:
+            yield {**sc, "machine": {**mc, key: floor}}
+    if mc["topology"] != "mesh":
+        yield {**sc, "machine": {**mc, "topology": "mesh"}}
+    # 4. drop the differential replay when it is not the verdict
+    if sc.get("diff_macro"):
+        yield {**sc, "diff_macro": False}
+    # 5. floor op / tree parameters, one field at a time
+    if sc["mode"] == "spmd":
+        for i, op in enumerate(sc["program"]):
+            for key, floor in _OP_FLOORS.get(op["op"], ()):
+                if op.get(key, floor) > floor:
+                    shrunk = copy.deepcopy(sc["program"])
+                    shrunk[i] = {**op, key: floor}
+                    yield {**sc, "program": shrunk}
+            if op["op"] == "bulk" and len(op["pairs"]) > 1:
+                shrunk = copy.deepcopy(sc["program"])
+                shrunk[i] = {**op, "pairs": [list(op["pairs"][0])]}
+                yield {**sc, "program": shrunk}
+    else:
+        tree = sc["tree"]
+        for key, floor in (("depth", 1), ("leaf_cycles", 20)):
+            if tree[key] > floor:
+                yield {**sc, "tree": {**tree, key: floor}}
+
+
+_OP_FLOORS: dict[str, tuple[tuple[str, int], ...]] = {
+    "compute": (("cycles", 50),),
+    "barrier": (("episodes", 1), ("width", 2)),
+    "reduce": (("episodes", 1), ("width", 2)),
+    "lock": (("iters", 1),),
+    "bulk": (("nbytes", 64),),
+    "channel": (("items", 1),),
+    "handoff": (("words", 1),),
+    "macro": (("elems", 8),),
+}
+
+
+def _shrink_nodes(sc: dict, n_new: int) -> dict | None:
+    """``sc`` with fewer nodes; node references are clamped or dropped
+    (a bulk op losing every pair drops entirely). None = not shrinkable
+    this way."""
+    cand = copy.deepcopy(sc)
+    cand["machine"]["n_nodes"] = n_new
+    if cand["mode"] == "spmd":
+        program = []
+        for op in cand["program"]:
+            if op["op"] == "bulk":
+                pairs = [p for p in op["pairs"] if p[0] < n_new and p[1] < n_new]
+                if not pairs:
+                    continue
+                op["pairs"] = pairs
+            elif op["op"] == "channel":
+                if op["producer"] >= n_new or op["consumer"] >= n_new:
+                    op["producer"], op["consumer"] = 0, n_new - 1
+            program.append(op)
+        if not program:
+            return None
+        cand["program"] = program
+    if cand.get("faults"):
+        f = cand["faults"]
+        f["stalls"] = [s for s in f["stalls"] if s[0] < n_new]
+        f["outages"] = [
+            o for o in f["outages"] if o[0] < n_new and o[1] < n_new
+        ]
+    return cand
+
+
+# ----------------------------------------------------------------------
+# Report rendering (CLI + serve artifact)
+# ----------------------------------------------------------------------
+def format_report(report: dict) -> str:
+    lines = [
+        f"fuzz campaign: {report['seeds_run']}/{report['seeds_requested']} "
+        f"seeds in {report['elapsed_seconds']}s "
+        f"({report['scenarios_per_sec']}/s)"
+        + (" [budget exhausted]" if report["budget_exhausted"] else ""),
+        f"findings: {len(report['findings'])}",
+    ]
+    for f in report["findings"]:
+        corpus = f" corpus={f['corpus_id']}" if f.get("corpus_id") else ""
+        lines.append(
+            f"  seed {f['seed']}: {f['primary'][0]}/{f['primary'][1]} "
+            f"({f['orig_bytes']}B -> {f['min_bytes']}B in "
+            f"{f['minimize_runs']} runs){corpus}"
+        )
+        lines.append(f"    {f['verdicts'][0]['detail'][:120]}")
+    return "\n".join(lines)
+
+
+def dump_report(report: dict) -> bytes:
+    return json.dumps(report, indent=1, sort_keys=True).encode() + b"\n"

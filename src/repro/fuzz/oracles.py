@@ -1,0 +1,115 @@
+"""Verdict extraction: result dict -> ordered list of oracle findings.
+
+Every oracle reads the *result* of a scenario run — never the live
+machine — so classification is a pure function of plain data and the
+campaign can classify worker-returned, cached, and replayed results
+identically.
+
+Oracles, in severity order (the first one present is the *primary*
+verdict, which is what the minimizer must preserve while shrinking):
+
+``crash``
+    any exception out of the simulation (kind = exception type);
+``hang``
+    the event-budget deadline fired, the runtime's root task never
+    completed, or the event queue drained with node programs stuck
+    (kind = ``timeout`` / ``deadlock`` / ``quiesced``);
+``self-check``
+    a primitive's own invariant failed — lock counter off, reduce
+    total wrong, bulk bytes corrupt, channel sum wrong;
+``checker:race`` / ``checker:coherence`` / ``checker:deadlock``
+    findings from the dynamic checkers of :mod:`repro.check`;
+``divergence:micro-macro``
+    the unchecked (macro-path) replay disagreed with the checked
+    (micro-path) run on cycles or results — a batch-runner
+    equivalence bug;
+``divergence:parallel``
+    attached by the campaign when a worker-returned result and an
+    in-process replay of the same scenario differ — a violation of
+    the sweep determinism contract (this one never appears from
+    :func:`classify` itself; the campaign synthesizes it after a
+    byte-level comparison).
+"""
+
+from __future__ import annotations
+
+#: fixed severity order; also the tie-break for the primary verdict
+ORACLE_ORDER = (
+    "crash",
+    "hang",
+    "self-check",
+    "checker:race",
+    "checker:coherence",
+    "checker:deadlock",
+    "divergence:micro-macro",
+    "divergence:parallel",
+)
+
+
+def classify(result: dict) -> list[dict]:
+    """All oracle verdicts for one result, severity-ordered. Each is
+    ``{"oracle", "kind", "detail"}`` — plain JSON."""
+    verdicts: list[dict] = []
+    if result.get("error"):
+        kind = str(result["error"]).split(":", 1)[0]
+        verdicts.append(
+            {"oracle": "crash", "kind": kind, "detail": result["error"]}
+        )
+    if result.get("hang"):
+        verdicts.append({
+            "oracle": "hang",
+            "kind": result["hang"]["kind"],
+            "detail": result["hang"]["detail"],
+        })
+    for line in result.get("self_check") or ():
+        kind = str(line).split(":", 1)[0].split("(", 1)[0].strip()
+        verdicts.append({"oracle": "self-check", "kind": kind, "detail": line})
+    check = result.get("check")
+    if check:
+        by_checker: dict[str, dict] = {}
+        for f in check.get("findings", ()):
+            by_checker.setdefault(f["checker"], f)
+        for checker, n in sorted((check.get("counts") or {}).items()):
+            if not n:
+                continue
+            first = by_checker.get(checker)
+            verdicts.append({
+                "oracle": f"checker:{checker}",
+                "kind": first["kind"] if first else "unknown",
+                "detail": (
+                    f"{n} finding(s); first: {first['message']}"
+                    if first else f"{n} finding(s)"
+                ),
+            })
+    div = result.get("divergence")
+    if div:
+        verdicts.append({
+            "oracle": f"divergence:{div.get('oracle', 'micro-macro')}",
+            "kind": div.get("field", "result"),
+            "detail": f"micro={div.get('micro')!r} macro={div.get('macro')!r}",
+        })
+    verdicts.sort(key=lambda v: (_rank(v["oracle"]), v["kind"], v["detail"]))
+    return verdicts
+
+
+def signature_of(verdicts: list[dict]) -> list[list[str]]:
+    """The stable identity of a failure: sorted unique (oracle, kind)
+    pairs. The minimizer accepts a shrunk candidate only if its
+    *primary* pair survives; the corpus dedupes on the full signature."""
+    pairs = sorted({(v["oracle"], v["kind"]) for v in verdicts})
+    return [list(p) for p in pairs]
+
+
+def primary(verdicts: list[dict]) -> tuple[str, str] | None:
+    """(oracle, kind) of the most severe verdict, or None if clean."""
+    if not verdicts:
+        return None
+    v = verdicts[0]
+    return (v["oracle"], v["kind"])
+
+
+def _rank(oracle: str) -> int:
+    try:
+        return ORACLE_ORDER.index(oracle)
+    except ValueError:
+        return len(ORACLE_ORDER)

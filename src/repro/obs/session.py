@@ -228,6 +228,21 @@ class ObsSession:
                  "labels": {}, "value": value}
                 for key, value in sorted(self.cache_stats.items())
             )
+        if self.check is not None and self.metrics is not None:
+            # surface per-checker finding counts as metrics rows so
+            # run.json and /metrics carry them, not just the findings
+            # list. Replace, don't append: worker payloads already
+            # carry their own check.findings rows (their data() added
+            # them), and the merged CheckReport is the authority —
+            # summing both would double-count every worker finding.
+            self.metrics.rows = [
+                r for r in self.metrics.rows if r["name"] != "check.findings"
+            ]
+            self.metrics.rows.extend(
+                {"name": "check.findings", "kind": "counter",
+                 "labels": {"checker": checker}, "value": count}
+                for checker, count in sorted(self.check.counts.items())
+            )
         return {
             "records": self.records,
             "metrics": self.metrics.as_dict() if self.metrics else None,

@@ -1,0 +1,75 @@
+"""``python -m repro.serve`` — offline maintenance of the run store.
+
+    python -m repro.serve store stats [--store-dir D]
+    python -m repro.serve store gc    [--max-age-days N] [--max-bytes B] [--all]
+
+Mirrors ``python -m repro.perf.cache`` for the service's run store:
+``gc`` deletes whole published runs by age and then oldest-first down
+to a byte budget. Safe against a live daemon on the same store — runs
+are deleted entry-first, so a concurrent reader sees a deleted run as
+absent (and simply recomputes it), never as half-published.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.store import DEFAULT_STORE_DIR, STORE_DIR_ENV, RunStore
+
+
+def _cmd_stats(store: RunStore) -> int:
+    by_exp: dict[str, int] = {}
+    n = 0
+    for key in store.keys():
+        n += 1
+        entry = store.get(key)
+        exp = (entry or {}).get("experiment", "?")
+        by_exp[exp] = by_exp.get(exp, 0) + 1
+    print(f"store dir: {store.root}")
+    print(f"runs:      {n} ({store.total_bytes():,} bytes)")
+    for exp, count in sorted(by_exp.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:>5}  {exp}")
+    return 0
+
+
+def _cmd_gc(store: RunStore, args: argparse.Namespace) -> int:
+    removed = store.gc(
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        everything=args.all,
+    )
+    print(f"removed {removed} runs from {store.root}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--store-dir", default=None, metavar="DIR",
+                        help=f"store location (default: ${STORE_DIR_ENV} "
+                        f"or {DEFAULT_STORE_DIR!r})")
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Inspect and maintain the service run store.",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    storep = sub.add_parser("store", help="run-store maintenance")
+    storesub = storep.add_subparsers(dest="store_cmd", required=True)
+    storesub.add_parser("stats", parents=[common],
+                        help="run count, bytes, per-experiment breakdown")
+    gcp = storesub.add_parser("gc", parents=[common],
+                              help="delete runs by age / byte budget")
+    gcp.add_argument("--max-age-days", type=float, default=None)
+    gcp.add_argument("--max-bytes", type=int, default=None)
+    gcp.add_argument("--all", action="store_true",
+                     help="wipe every published run")
+    args = ap.parse_args(argv)
+
+    store = RunStore(args.store_dir)
+    if args.store_cmd == "stats":
+        return _cmd_stats(store)
+    return _cmd_gc(store, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -118,6 +118,9 @@ class ServeApp:
                     f"serve.cache.{field}",
                     lambda f=field, c=cache: c.stats.snapshot()[f],
                 )
+        from repro.fuzz.campaign import register_metrics as fuzz_metrics
+
+        fuzz_metrics(reg)
         return reg
 
     def metrics(self) -> Response:

@@ -52,6 +52,12 @@ _SPEC_KEYS = {
     "check",
 }
 
+#: legal keys inside a {"fuzz": {...}} spec, with bounds-checked types
+_FUZZ_KEYS = {
+    "seeds": int, "base_seed": int, "budget": (int, float),
+    "inject_bug": bool, "minimize": bool,
+}
+
 
 def _normalize(value: Any) -> Any:
     """JSON params → canonical kwargs (lists become tuples, recursively),
@@ -91,6 +97,8 @@ class ExperimentExecutor:
 
         if not isinstance(spec, dict):
             raise ValueError("job spec must be a JSON object")
+        if "fuzz" in spec:
+            raise ValueError("fuzz specs resolve via resolve_fuzz")
         unknown = set(spec) - _SPEC_KEYS
         if unknown:
             raise ValueError(f"unknown spec keys: {sorted(unknown)}")
@@ -136,11 +144,48 @@ class ExperimentExecutor:
         )
         return exp_id, kwargs, obs_cfg
 
+    def resolve_fuzz(self, spec: dict) -> dict[str, Any]:
+        """Validate a ``{"fuzz": {...}}`` spec → campaign kwargs."""
+        body = spec.get("fuzz")
+        if not isinstance(body, dict):
+            raise ValueError("spec 'fuzz' must be an object")
+        extra_top = set(spec) - {"fuzz"}
+        if extra_top:
+            raise ValueError(
+                f"fuzz spec takes no other top-level keys: {sorted(extra_top)}"
+            )
+        unknown = set(body) - set(_FUZZ_KEYS)
+        if unknown:
+            raise ValueError(f"unknown fuzz keys: {sorted(unknown)}")
+        kwargs: dict[str, Any] = {}
+        for key, typ in _FUZZ_KEYS.items():
+            if key not in body:
+                continue
+            value = body[key]
+            if isinstance(value, bool) and typ is not bool:
+                raise ValueError(f"fuzz {key!r} must be a number")
+            if not isinstance(value, typ):
+                raise ValueError(f"fuzz {key!r} has the wrong type")
+            kwargs[key] = value
+        if kwargs.get("seeds", 1) < 1:
+            raise ValueError("fuzz 'seeds' must be >= 1")
+        if kwargs.get("budget", 1) <= 0:
+            raise ValueError("fuzz 'budget' must be > 0")
+        return kwargs
+
     # -- keying --------------------------------------------------------
     def key_for(self, spec: dict) -> str:
         """The run key: descriptor × code fingerprint × obs key."""
-        from repro.experiments import ALL_EXPERIMENTS
         from repro.perf.cache import code_fingerprint
+
+        if isinstance(spec, dict) and "fuzz" in spec:
+            kwargs = self.resolve_fuzz(spec)
+            descriptor = repr((EXECUTOR_SCHEMA, "fuzz", sorted(kwargs.items())))
+            fingerprint = code_fingerprint("repro.fuzz.campaign")
+            payload = f"{descriptor}\n{fingerprint}\n"
+            return hashlib.sha256(payload.encode()).hexdigest()
+
+        from repro.experiments import ALL_EXPERIMENTS
 
         exp_id, kwargs, obs_cfg = self.resolve(spec)
         descriptor = repr((EXECUTOR_SCHEMA, exp_id, sorted(kwargs.items())))
@@ -172,6 +217,9 @@ class ExperimentExecutor:
         from repro.obs.session import session as obs_session
         from repro.perf import progress as perf_progress
         from repro.perf.cache import activate, code_fingerprint
+
+        if "fuzz" in spec:
+            return self._execute_fuzz(spec, should_cancel, progress)
 
         exp_id, kwargs, obs_cfg = self.resolve(spec)
         fn = ALL_EXPERIMENTS[exp_id]
@@ -272,6 +320,59 @@ class ExperimentExecutor:
                 if cache_before is not None
                 else None
             ),
+        }
+        return meta, artifacts
+
+    def _execute_fuzz(
+        self, spec: dict,
+        should_cancel: Callable[[], bool],
+        progress: Callable[[dict], None] | None,
+    ) -> tuple[dict, dict[str, bytes]]:
+        """Run a fuzzing campaign as a daemon job. Campaign progress
+        events fold into the job's SSE progress (seeds done / findings
+        so far); the campaign runs with caching disabled (its own
+        default) and ``jobs`` from the executor, and its report lands
+        as campaign.json / findings.json / report.txt artifacts."""
+        from repro.fuzz.campaign import (
+            CampaignConfig,
+            dump_report,
+            format_report,
+            run_campaign,
+        )
+        from repro.perf.cache import code_fingerprint
+
+        kwargs = self.resolve_fuzz(spec)
+        cfg = CampaignConfig(jobs=self.jobs, corpus_dir=None,
+                             bundle_artifacts=False, **kwargs)
+
+        def on_fuzz_event(event: dict) -> None:
+            if should_cancel():
+                raise JobCancelled()
+            if progress is not None:
+                progress({
+                    "done": event["done"], "total": event["total"],
+                    "findings": event["findings"],
+                    "point": f"fuzz:{event['phase']}",
+                })
+
+        t0 = time.time()
+        report = run_campaign(
+            cfg, progress=on_fuzz_event, should_cancel=should_cancel
+        )
+        if should_cancel():
+            raise JobCancelled()
+        meta = {
+            "experiment": "fuzz",
+            "params": kwargs,
+            "wall_seconds": round(time.time() - t0, 3),
+            "fingerprint": code_fingerprint("repro.fuzz.campaign"),
+            "obs_key": "",
+            "findings": len(report["findings"]),
+        }
+        artifacts = {
+            "report.txt": (format_report(report) + "\n").encode(),
+            "campaign.json": dump_report(report),
+            "findings.json": _dump(report["findings"]),
         }
         return meta, artifacts
 

@@ -51,6 +51,8 @@ ARTIFACT_TYPES = {
     "table.json": "application/json",
     "run.json": "application/json",
     "trace.json": "application/json",
+    "campaign.json": "application/json",
+    "findings.json": "application/json",
 }
 
 
@@ -172,3 +174,62 @@ class RunStore:
             except OSError:  # racing publisher/GC: skip
                 continue
         return total
+
+    def _run_bytes(self, key: str) -> int:
+        total = 0
+        for path in self.run_dir(key).rglob("*"):
+            try:
+                if path.is_file():
+                    total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def delete(self, key: str) -> None:
+        """Remove one run, entry first — a reader racing the deletion
+        sees the run as absent (get() requires entry.json), never as
+        half-complete."""
+        run_dir = self.run_dir(key)
+        (run_dir / ENTRY_NAME).unlink(missing_ok=True)
+        for path in sorted(run_dir.glob("*")):
+            path.unlink(missing_ok=True)
+        try:
+            run_dir.rmdir()
+            run_dir.parent.rmdir()  # drop the fan-out dir when emptied
+        except OSError:
+            pass
+
+    def gc(
+        self,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+        everything: bool = False,
+    ) -> int:
+        """Delete runs by publication age, then oldest-first down to a
+        byte budget (the ``repro.perf.cache gc`` policy applied to
+        whole runs); returns the number of runs removed."""
+        removed = 0
+        runs = [
+            (entry.get("published", 0.0), key)
+            for key in self.keys()
+            if (entry := self.get(key)) is not None
+        ]
+        if everything:
+            max_bytes = -1
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            for published, key in list(runs):
+                if published < cutoff:
+                    self.delete(key)
+                    runs.remove((published, key))
+                    removed += 1
+        if max_bytes is not None:
+            runs.sort()  # oldest first
+            sizes = {key: self._run_bytes(key) for _, key in runs}
+            total = sum(sizes.values())
+            while runs and total > max_bytes:
+                _, key = runs.pop(0)
+                total -= sizes[key]
+                self.delete(key)
+                removed += 1
+        return removed
