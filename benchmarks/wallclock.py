@@ -21,7 +21,13 @@ root so every PR leaves a perf trajectory behind:
    to clear the SweepRunner's fan-out threshold, serial vs parallel,
    reporting ``parallel_speedup``. On single-cpu hosts this records an
    explicit ``{"skipped": "1 cpu"}`` marker instead of a number.
-5. **Sweep wall time** — the full experiment sweep end-to-end at
+5. **Partitioned-run bench** — one 256-node jacobi run split across
+   node-sharded engines (``repro.perf.partition``) at 2 and 4 shards,
+   reporting events/sec and ``speedup_vs_serial`` per shard count plus
+   a ``result_identical`` bit (partitioned runs must reproduce the
+   serial answer exactly). Single-cpu hosts record the same explicit
+   ``{"skipped": "1 cpu"}`` marker as (4).
+6. **Sweep wall time** — the full experiment sweep end-to-end at
    ``--jobs 1`` vs ``--jobs N`` through the parallel SweepRunner, and
    cold vs warm through the content-addressed run cache
    (``repro.perf.cache``). Worker-pool startup is measured separately
@@ -32,10 +38,12 @@ CI regression gate::
 
     python benchmarks/wallclock.py --check BENCH_wallclock.json
 
-re-measures (1)-(4) and exits non-zero if workload events/sec fell
+re-measures (1)-(5) and exits non-zero if workload events/sec fell
 more than 25% below the committed baseline, if the macro/micro
 ablation diverges in events or simulated cycles, or if the parallel
-sweep fails to reach 1.0x speedup (auto-skipped on 1-cpu hosts).
+sweep or the partitioned run fails to reach 1.0x speedup / diverges
+from serial (both auto-skipped on 1-cpu hosts). ``REPRO_BENCH_JOBS``
+overrides the job count when ``--jobs`` is not given.
 """
 
 from __future__ import annotations
@@ -293,6 +301,58 @@ def parallel_bench(jobs: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Partitioned-run bench: node-sharded engines on one big machine
+# ----------------------------------------------------------------------
+def partition_bench() -> dict:
+    """One 256-node jacobi run, serial vs split across 2 and 4 shard
+    workers (``repro.perf.partition``). The sweep runner parallelizes
+    *across* points; this parallelizes *within* a single run, which is
+    what a 1024-node simulation actually needs. Single-cpu hosts get
+    the explicit skip marker — shard workers would just time-slice."""
+    if (os.cpu_count() or 1) < 2:
+        return {"skipped": "1 cpu"}
+    from repro.apps.jacobi import JacobiApp
+    from repro.experiments.common import make_machine
+    from repro.perf.partition import run_partitioned
+
+    n_nodes = 256
+    kwargs = {"mode": "mp", "grid_size": 64, "n_nodes": n_nodes,
+              "iters": 4, "validate": False}
+    # in-process serial reference: the wall-clock yardstick and the
+    # model event count (partitioned shards process the same model
+    # events, plus window-barrier overhead the speedup has to beat)
+    t0 = time.perf_counter()
+    m = make_machine(n_nodes)
+    app = JacobiApp(m, grid_size=kwargs["grid_size"],
+                    iters=kwargs["iters"], mode=kwargs["mode"])
+    _, cycles = app.run()
+    serial_wall = time.perf_counter() - t0
+    serial_result = app.cycles_per_iteration(cycles)
+    events = m.sim.events_processed
+    out = {
+        "workload": f"fig11 jacobi mp 64x64, {n_nodes} nodes, 4 iters",
+        "events": events,
+        "serial_wall_sec": round(serial_wall, 3),
+        "serial_events_per_sec": round(events / serial_wall),
+        "shards": {},
+    }
+    for k in (2, 4):
+        t0 = time.perf_counter()
+        result = run_partitioned(
+            "repro.experiments.fig11_jacobi:measure_jacobi",
+            kwargs, n_nodes, k,
+        )
+        wall = time.perf_counter() - t0
+        out["shards"][str(k)] = {
+            "wall_sec": round(wall, 3),
+            "events_per_sec": round(events / wall),
+            "speedup_vs_serial": round(serial_wall / wall, 2),
+            "result_identical": result == serial_result,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
 # 3. Full experiment sweep: serial vs parallel, cold vs warm cache
 # ----------------------------------------------------------------------
 def sweep_bench(jobs: int) -> dict:
@@ -340,7 +400,7 @@ def measure(jobs: int, quick: bool, skip_sweep: bool = False) -> dict:
     n_events = 60_000 if quick else 300_000
     repeats = 1 if quick else 3
     out = {
-        "schema": 2,
+        "schema": 3,
         "host": {
             "cpus": os.cpu_count(),
             "platform": platform.platform(),
@@ -354,6 +414,7 @@ def measure(jobs: int, quick: bool, skip_sweep: bool = False) -> dict:
         "workload": workload_bench(2 if quick else 3),
         "macro_ablation": ablation_bench(1 if quick else 2),
         "parallel": parallel_bench(jobs),
+        "partition": partition_bench(),
     }
     if not skip_sweep:
         out["sweep"] = sweep_bench(jobs)
@@ -391,6 +452,20 @@ def check_against(baseline_path: Path, measured: dict, tolerance: float = 0.25) 
     else:
         print(f"parallel sweep: {par['parallel_speedup']}x speedup over "
               f"{par['sweep_points']} points at jobs={par['jobs']}")
+    part = measured.get("partition", {})
+    if part.get("skipped"):
+        print(f"partition gate: skipped ({part['skipped']})")
+    else:
+        best = max(s["speedup_vs_serial"] for s in part["shards"].values())
+        if not all(s["result_identical"] for s in part["shards"].values()):
+            print(f"FAIL: partitioned run diverged from serial: {part}")
+            failed = True
+        elif best < 1.0:
+            print(f"FAIL: no shard count beat serial wall-clock: {part}")
+            failed = True
+        else:
+            print(f"partition: best {best}x over serial on "
+                  f"{part['workload']}")
     if failed:
         return 1
     ratio = measured["engine_microbench"]["speedup_vs_legacy"]
@@ -403,7 +478,7 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--jobs", type=int, default=None, metavar="N",
                     help="parallel job count for the sweep comparison "
-                    "(default: cpu count / REPRO_JOBS)")
+                    "(default: REPRO_BENCH_JOBS / cpu count / REPRO_JOBS)")
     ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_wallclock.json",
                     help="where to write the JSON result")
     ap.add_argument("--quick", action="store_true",
@@ -415,7 +490,11 @@ def main(argv: list[str] | None = None) -> int:
                     "non-zero on >25%% events/sec regression (implies "
                     "--skip-sweep; does not overwrite the baseline)")
     args = ap.parse_args(argv)
-    jobs = args.jobs if args.jobs else default_jobs()
+    # REPRO_BENCH_JOBS lets CI pin the bench fan-out without touching
+    # the command line (the same workflow runs on differently-sized
+    # runners); --jobs still wins when given explicitly
+    env_jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or "0")
+    jobs = args.jobs or env_jobs or default_jobs()
 
     measured = measure(jobs, args.quick, skip_sweep=args.skip_sweep or args.check)
     print(json.dumps(measured, indent=2))

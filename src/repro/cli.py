@@ -117,6 +117,7 @@ def run_experiment(
     fault_rate: float | None = None,
     fault_seed: int | None = None,
     jobs: int | None = None,
+    partitions: int | None = None,
     profile: bool = False,
     metrics_out: str | None = None,
     trace_out: str | None = None,
@@ -136,6 +137,25 @@ def run_experiment(
         if kw is None:
             raise SystemExit(f"experiment {exp_id!r} does not take a node count")
         kwargs[kw] = nodes
+    if partitions is not None:
+        import inspect
+
+        from repro.perf.partition import validate_partitions
+
+        if "partitions" not in inspect.signature(fn).parameters:
+            raise SystemExit(
+                f"experiment {exp_id!r} does not support --partitions"
+            )
+        if check:
+            raise SystemExit("--partitions cannot be combined with --check "
+                             "(dynamic checkers need a global view)")
+        nkw = NODES_KW.get(exp_id)
+        n_for_plan = int(kwargs.get(nkw, 64)) if nkw else 64
+        try:
+            validate_partitions(partitions, n_for_plan)
+        except ValueError as exc:
+            raise SystemExit(f"--partitions: {exc}")
+        kwargs["partitions"] = partitions
     if fault_rate is not None or fault_seed is not None:
         if exp_id != "faults":
             raise SystemExit(f"experiment {exp_id!r} does not take fault parameters")
@@ -326,7 +346,8 @@ def _build_spec(args: argparse.Namespace) -> dict:
                 body = json.loads(args.params)
             except ValueError as exc:
                 raise SystemExit(f"--params is not valid JSON: {exc}")
-        for flag in ("quick", "nodes", "trace", "sample_interval", "check"):
+        for flag in ("quick", "nodes", "trace", "sample_interval", "check",
+                     "partitions"):
             if getattr(args, flag, None):
                 raise SystemExit(f"--{flag.replace('_', '-')} does not apply "
                                  "to fuzz campaigns; use --params")
@@ -350,6 +371,8 @@ def _build_spec(args: argparse.Namespace) -> dict:
         spec["sample_interval"] = args.sample_interval
     if args.check:
         spec["check"] = [k for k in args.check.split(",") if k]
+    if getattr(args, "partitions", None) is not None:
+        spec["partitions"] = args.partitions
     return spec
 
 
@@ -541,6 +564,12 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = auto; results are byte-identical at any job count)",
     )
     runp.add_argument(
+        "--partitions", type=int, default=None, metavar="K",
+        help="split each run's machine across K shard worker processes "
+        "(node-range partitioning with conservative lookahead; "
+        "parallelism *within* a run, for 1024+ node machines)",
+    )
+    runp.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the top functions per experiment",
     )
@@ -650,6 +679,10 @@ def main(argv: list[str] | None = None) -> int:
     subp.add_argument("--trace", action="store_true",
                       help="capture a Perfetto trace artifact")
     subp.add_argument("--sample-interval", type=int, default=0, metavar="CYCLES")
+    subp.add_argument(
+        "--partitions", type=int, default=None, metavar="K",
+        help="split each run's machine across K shard workers on the server",
+    )
     subp.add_argument("--check", default=None, metavar="C1,C2",
                       help="attach dynamic checkers (race,coherence,deadlock)")
     subp.add_argument("--wait", action="store_true",
@@ -747,6 +780,7 @@ def main(argv: list[str] | None = None) -> int:
                     fault_rate=args.fault_rate,
                     fault_seed=args.fault_seed,
                     jobs=args.jobs,
+                    partitions=args.partitions,
                     profile=args.profile,
                     metrics_out=args.metrics_out,
                     trace_out=args.trace_out,

@@ -49,7 +49,7 @@ EXECUTOR_SCHEMA = 1
 
 _SPEC_KEYS = {
     "experiment", "quick", "nodes", "params", "trace", "sample_interval",
-    "check",
+    "check", "partitions",
 }
 
 #: legal keys inside a {"fuzz": {...}} spec, with bounds-checked types
@@ -137,6 +137,31 @@ class ExperimentExecutor:
             from repro.check import validate_checks
 
             checks = validate_checks(spec["check"])
+        if "partitions" in params:
+            raise ValueError(
+                "'partitions' is a top-level spec key, not a param"
+            )
+        if spec.get("partitions") is not None:
+            from repro.perf.partition import validate_partitions
+
+            if "partitions" not in inspect.signature(fn).parameters:
+                raise ValueError(
+                    f"experiment {exp_id!r} does not support 'partitions'"
+                )
+            if checks:
+                raise ValueError(
+                    "'partitions' cannot be combined with 'check' "
+                    "(dynamic checkers need a global view)"
+                )
+            nkw = NODES_KW.get(exp_id)
+            if nkw:
+                default_n = inspect.signature(fn).parameters[nkw].default
+                n_plan = int(kwargs.get(nkw, default_n))
+            else:
+                n_plan = 64
+            kwargs["partitions"] = validate_partitions(
+                spec["partitions"], n_plan
+            )
         obs_cfg = ObsConfig(
             sample_interval=sample_interval,
             trace=bool(spec.get("trace")),
@@ -188,6 +213,11 @@ class ExperimentExecutor:
         from repro.experiments import ALL_EXPERIMENTS
 
         exp_id, kwargs, obs_cfg = self.resolve(spec)
+        # 'partitions' is an execution strategy, not an input: a
+        # partitioned run produces the same results/artifacts as the
+        # serial run of the same spec (gated by the cycle-identity
+        # tests), so both dedupe onto one store entry.
+        kwargs.pop("partitions", None)
         descriptor = repr((EXECUTOR_SCHEMA, exp_id, sorted(kwargs.items())))
         fingerprint = code_fingerprint(ALL_EXPERIMENTS[exp_id].__module__)
         payload = f"{descriptor}\n{fingerprint}\n{obs_cfg!r}"
@@ -247,6 +277,26 @@ class ExperimentExecutor:
                     "mono": time.monotonic(),
                     "cached": bool(event.get("cached")),
                 })
+            elif event["event"] == "partition_window":
+                # per-shard progress from a partitioned run: stream it
+                # through the same SSE channel (and cancellation probe)
+                # without advancing the point tally
+                if should_cancel():
+                    raise JobCancelled()
+                if progress is not None:
+                    progress({
+                        **tally,
+                        "point": f"window {event['windows']} "
+                                 f"(shards {event['shards']}, "
+                                 f"cycle {event['min_now']})",
+                        "partition": {
+                            "windows": event["windows"],
+                            "shards": event["shards"],
+                            "min_now": event["min_now"],
+                            "max_now": event["max_now"],
+                        },
+                    })
+                return
             if should_cancel():
                 raise JobCancelled()
             if progress is not None:
